@@ -1,0 +1,230 @@
+// Benchmarks reproducing the paper's evaluation, one per figure panel and
+// series. The paper's sweeps go to 200K input tuples; the sizes here are
+// chosen so that the whole suite runs in minutes while preserving every
+// comparison the figures make (cmd/tpbench regenerates the full sweeps).
+//
+//	Fig. 5 — overlapping + unmatched windows (WUO): NJ vs TA
+//	Fig. 6 — negating windows: NJ-WN, NJ-WUON vs TA
+//	Fig. 7 — full TP left outer join: NJ vs TA
+//	A1/A2 — extensions: anti join and full outer join
+package tpjoin_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tpjoin/internal/align"
+	"tpjoin/internal/core"
+	"tpjoin/internal/dataset"
+	"tpjoin/internal/tp"
+)
+
+const (
+	webkitN   = 100000 // Fig. 5/6 panels (paper: 50K–200K)
+	meteoN    = 20000  // Meteo is 1–2 orders slower per tuple, as in the paper
+	webkitNL  = 10000  // Fig. 7a: TA runs the nested-loop plan, O(n²)
+	benchSeed = 1
+)
+
+// cached inputs so repeated benchmark iterations do not regenerate data.
+var inputCache = map[string]struct{ r, s *tp.Relation }{}
+
+func inputs(b *testing.B, ds string, n int) (*tp.Relation, *tp.Relation, tp.EquiTheta) {
+	b.Helper()
+	// Both workloads join on their first attribute (file resp. metric).
+	theta := dataset.WebkitTheta()
+	if ds == "meteo" {
+		theta = dataset.MeteoTheta()
+	}
+	key := fmt.Sprintf("%s/%d", ds, n)
+	if c, ok := inputCache[key]; ok {
+		return c.r, c.s, theta
+	}
+	var r, s *tp.Relation
+	switch ds {
+	case "webkit":
+		r, s = dataset.Webkit(n, benchSeed)
+	case "meteo":
+		r, s = dataset.Meteo(n, benchSeed)
+	default:
+		b.Fatalf("unknown dataset %s", ds)
+	}
+	inputCache[key] = struct{ r, s *tp.Relation }{r, s}
+	return r, s, theta
+}
+
+// --- Fig. 5: WUO (overlapping and unmatched windows) ---
+
+func BenchmarkFig5_WUO_Webkit_NJ(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Count(core.LAWAU(core.OverlapJoin(r, s, theta)))
+	}
+}
+
+func BenchmarkFig5_WUO_Webkit_TA(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.CountWUO(r, s, theta, align.Config{})
+	}
+}
+
+func BenchmarkFig5_WUO_Meteo_NJ(b *testing.B) {
+	r, s, theta := inputs(b, "meteo", meteoN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Count(core.LAWAU(core.OverlapJoin(r, s, theta)))
+	}
+}
+
+func BenchmarkFig5_WUO_Meteo_TA(b *testing.B) {
+	r, s, theta := inputs(b, "meteo", meteoN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.CountWUO(r, s, theta, align.Config{})
+	}
+}
+
+// --- Fig. 6: negating windows ---
+
+func BenchmarkFig6_Negating_Webkit_NJ_WN(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitN)
+	wuo := core.Drain(core.LAWAU(core.OverlapJoin(r, s, theta)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Count(core.LAWAN(core.NewSliceIterator(wuo)))
+	}
+}
+
+func BenchmarkFig6_Negating_Webkit_NJ_WUON(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Count(core.LAWAN(core.LAWAU(core.OverlapJoin(r, s, theta))))
+	}
+}
+
+func BenchmarkFig6_Negating_Webkit_TA(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.CountNegating(r, s, theta, align.Config{})
+	}
+}
+
+func BenchmarkFig6_Negating_Meteo_NJ_WN(b *testing.B) {
+	r, s, theta := inputs(b, "meteo", meteoN)
+	wuo := core.Drain(core.LAWAU(core.OverlapJoin(r, s, theta)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Count(core.LAWAN(core.NewSliceIterator(wuo)))
+	}
+}
+
+func BenchmarkFig6_Negating_Meteo_NJ_WUON(b *testing.B) {
+	r, s, theta := inputs(b, "meteo", meteoN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Count(core.LAWAN(core.LAWAU(core.OverlapJoin(r, s, theta))))
+	}
+}
+
+func BenchmarkFig6_Negating_Meteo_TA(b *testing.B) {
+	r, s, theta := inputs(b, "meteo", meteoN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.CountNegating(r, s, theta, align.Config{})
+	}
+}
+
+// --- Fig. 7: TP left outer join (full operator incl. probabilities) ---
+
+func BenchmarkFig7_LeftOuter_Webkit_NJ(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitNL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.LeftOuterJoin(r, s, theta)
+	}
+}
+
+// TA runs the nested-loop plan PostgreSQL's optimizer chose in the paper —
+// the source of the two-orders-of-magnitude gap of Fig. 7a.
+func BenchmarkFig7_LeftOuter_Webkit_TA_NestedLoop(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitNL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.LeftOuterJoin(r, s, theta, align.Config{NestedLoop: true})
+	}
+}
+
+func BenchmarkFig7_LeftOuter_Meteo_NJ(b *testing.B) {
+	r, s, theta := inputs(b, "meteo", meteoN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.LeftOuterJoin(r, s, theta)
+	}
+}
+
+func BenchmarkFig7_LeftOuter_Meteo_TA(b *testing.B) {
+	r, s, theta := inputs(b, "meteo", meteoN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.LeftOuterJoin(r, s, theta, align.Config{})
+	}
+}
+
+// --- Extensions beyond the paper's figures ---
+
+func BenchmarkExtA1_Anti_Webkit_NJ(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.AntiJoin(r, s, theta)
+	}
+}
+
+func BenchmarkExtA1_Anti_Webkit_TA(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.AntiJoin(r, s, theta, align.Config{})
+	}
+}
+
+func BenchmarkExtA2_FullOuter_Webkit_NJ(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.FullOuterJoin(r, s, theta)
+	}
+}
+
+func BenchmarkExtA2_FullOuter_Webkit_TA(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.FullOuterJoin(r, s, theta, align.Config{})
+	}
+}
+
+// Ablation: the hash-partitioned TA plan on Fig. 7a's workload, isolating
+// how much of the Fig. 7a gap is the nested-loop plan vs. alignment itself.
+func BenchmarkAblation_LeftOuter_Webkit_TA_Hash(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitNL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		align.LeftOuterJoin(r, s, theta, align.Config{})
+	}
+}
+
+// Ablation: probability computation share — the NJ pipeline without
+// forming output tuples vs. the full operator.
+func BenchmarkAblation_WindowsOnly_Webkit_NJ(b *testing.B) {
+	r, s, theta := inputs(b, "webkit", webkitNL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Count(core.LAWAN(core.LAWAU(core.OverlapJoin(r, s, theta))))
+	}
+}

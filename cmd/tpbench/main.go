@@ -1,0 +1,130 @@
+// Command tpbench regenerates the paper's evaluation figures as text
+// series: runtime vs. input size for the NJ approach and the TA baseline
+// on the synthetic Webkit and Meteo workloads.
+//
+// Usage:
+//
+//	tpbench                 # all figures with default sweeps
+//	tpbench -fig 5          # only Fig. 5 (both datasets)
+//	tpbench -fig 7 -dataset webkit -sizes 5000,10000,20000
+//	tpbench -extensions     # also run the anti/full-outer extensions
+//	tpbench -repeats 3      # report the minimum of 3 runs per point
+//
+// Output format mirrors the paper's plots: one row per input size (in K),
+// one column per series, runtimes in milliseconds. Speedup summaries
+// (TA/NJ) are printed per figure for direct comparison with the factors
+// reported in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tpjoin/internal/bench"
+)
+
+func main() {
+	var (
+		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7 or all")
+		ds         = flag.String("dataset", "both", "dataset: webkit, meteo or both")
+		sizesStr   = flag.String("sizes", "", "comma-separated input sizes (total tuples), overrides defaults")
+		seed       = flag.Int64("seed", 1, "dataset generation seed")
+		repeats    = flag.Int("repeats", 1, "timed repetitions per point (minimum reported)")
+		extensions = flag.Bool("extensions", false, "also run the anti-join and full-outer-join extensions")
+		ablation   = flag.String("ablation", "", "run an ablation instead of the figures: selectivity or groups")
+	)
+	flag.Parse()
+
+	opt := bench.Options{Seed: *seed, Repeats: *repeats}
+	if *sizesStr != "" {
+		for _, part := range strings.Split(*sizesStr, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "tpbench: bad size %q\n", part)
+				os.Exit(2)
+			}
+			opt.Sizes = append(opt.Sizes, n)
+		}
+	}
+
+	if *ablation != "" {
+		var f bench.Figure
+		switch *ablation {
+		case "selectivity":
+			f = bench.AblationSelectivity(40000, nil, opt)
+		case "groups":
+			f = bench.AblationGroupSize(40000, nil, opt)
+		default:
+			fmt.Fprintf(os.Stderr, "tpbench: unknown ablation %q\n", *ablation)
+			os.Exit(2)
+		}
+		fmt.Println(bench.Format(f))
+		printSpeedups(f)
+		return
+	}
+
+	datasets := []string{"webkit", "meteo"}
+	switch *ds {
+	case "both":
+	case "webkit", "meteo":
+		datasets = []string{*ds}
+	default:
+		fmt.Fprintf(os.Stderr, "tpbench: unknown dataset %q\n", *ds)
+		os.Exit(2)
+	}
+
+	type job struct {
+		name string
+		run  func(string, bench.Options) bench.Figure
+	}
+	var jobs []job
+	switch *fig {
+	case "all":
+		jobs = []job{{"5", bench.Fig5}, {"6", bench.Fig6}, {"7", bench.Fig7}}
+	case "5":
+		jobs = []job{{"5", bench.Fig5}}
+	case "6":
+		jobs = []job{{"6", bench.Fig6}}
+	case "7":
+		jobs = []job{{"7", bench.Fig7}}
+	default:
+		fmt.Fprintf(os.Stderr, "tpbench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	if *extensions {
+		jobs = append(jobs, job{"A1", bench.ExtraAnti}, job{"A2", bench.ExtraFullOuter})
+	}
+
+	for _, j := range jobs {
+		for _, d := range datasets {
+			f := j.run(d, opt)
+			fmt.Println(bench.Format(f))
+			printSpeedups(f)
+			fmt.Println()
+		}
+	}
+}
+
+func printSpeedups(f bench.Figure) {
+	base := f.Series[0].Name
+	for _, s := range f.Series[1:] {
+		sp := bench.Speedups(f, base, s.Name)
+		if len(sp) == 0 {
+			continue
+		}
+		var ns []int
+		for n := range sp {
+			ns = append(ns, n)
+		}
+		sort.Ints(ns)
+		parts := make([]string, len(ns))
+		for i, n := range ns {
+			parts[i] = fmt.Sprintf("%.1f×", sp[n])
+		}
+		fmt.Printf("  speedup %s/%s: %s\n", s.Name, base, strings.Join(parts, " "))
+	}
+}

@@ -1,0 +1,14 @@
+// Package tpjoin is a from-scratch Go implementation of the ICDE 2019
+// paper "Outer and Anti Joins in Temporal-Probabilistic Databases"
+// (K. Papaioannou, M. Theobald, M. Böhlen): generalized lineage-aware
+// temporal windows, the pipelined sweep algorithms LAWAU and LAWAN, the
+// TP join operators with negation built on them, the Temporal Alignment
+// baseline, a Volcano-style SQL engine they plug into, synthetic Webkit
+// and Meteo workloads, and a benchmark harness reproducing the paper's
+// evaluation figures.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results. The implementation lives
+// under internal/; the runnable entry points are the examples/ programs
+// and the cmd/ tools (tpquery, tpbench, tpgen).
+package tpjoin

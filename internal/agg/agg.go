@@ -1,0 +1,173 @@
+// Package agg provides temporal-probabilistic aggregation: time-varying
+// expected values and exact count distributions over a TP relation. At
+// each time point a TP relation describes a distribution over possible
+// worlds; the aggregates summarize it:
+//
+//   - ExpectedCount: E[number of true tuples] per elementary interval
+//     (linearity of expectation — exact for arbitrary lineages);
+//   - ExpectedSum: E[sum of a numeric attribute over true tuples], same
+//     footing;
+//   - CountDistribution: the full Poisson-binomial distribution of the
+//     count, exact when the valid tuples' lineages are pairwise
+//     independent (variable-disjoint, the common case for base
+//     relations); reported as absent otherwise rather than silently
+//     wrong.
+//
+// The time dimension is handled exactly like the paper's negating
+// windows: the timeline is split at every tuple boundary, and within one
+// elementary interval the set of valid tuples — hence the aggregate — is
+// constant.
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"tpjoin/internal/interval"
+	"tpjoin/internal/lineage"
+	"tpjoin/internal/prob"
+	"tpjoin/internal/tp"
+)
+
+// Point is one elementary interval with its aggregate values.
+type Point struct {
+	T interval.Interval
+	// N is the number of valid tuples (regardless of probability).
+	N int
+	// Expected is the expected value of the aggregate (count or sum).
+	Expected float64
+	// Dist[k] = Pr(aggregate count = k). Nil when the valid tuples share
+	// base events, in which case the exact distribution would require
+	// joint inference (see package comment). Only set by
+	// CountDistribution.
+	Dist []float64
+}
+
+// Series is a time-ordered sequence of aggregate points covering exactly
+// the intervals where at least one tuple is valid.
+type Series []Point
+
+// ExpectedCount returns E[count of true tuples] over time.
+func ExpectedCount(rel *tp.Relation) Series {
+	return sweep(rel, func(tu *tp.Tuple, p float64) float64 { return p }, false)
+}
+
+// ExpectedSum returns E[sum of the numeric column col over true tuples]
+// over time. It panics if the column is not numeric in some valid tuple.
+func ExpectedSum(rel *tp.Relation, col int) Series {
+	return sweep(rel, func(tu *tp.Tuple, p float64) float64 {
+		v := tu.Fact[col]
+		switch v.Kind() {
+		case tp.KindInt, tp.KindFloat:
+			return p * v.AsFloat()
+		default:
+			panic(fmt.Sprintf("agg: non-numeric value %v in sum column", v))
+		}
+	}, false)
+}
+
+// CountDistribution returns the exact distribution of the tuple count per
+// elementary interval (Poisson binomial over the valid tuples'
+// probabilities), in addition to the expectation. Dist is nil on
+// intervals where the valid lineages are not pairwise variable-disjoint.
+func CountDistribution(rel *tp.Relation) Series {
+	return sweep(rel, func(tu *tp.Tuple, p float64) float64 { return p }, true)
+}
+
+// AtLeast returns Pr(count ≥ k) for a point with a distribution; it
+// panics when the distribution is absent.
+func (p Point) AtLeast(k int) float64 {
+	if p.Dist == nil {
+		panic("agg: no distribution available (dependent lineages)")
+	}
+	s := 0.0
+	for i := k; i < len(p.Dist); i++ {
+		s += p.Dist[i]
+	}
+	return s
+}
+
+func sweep(rel *tp.Relation, weight func(*tp.Tuple, float64) float64, withDist bool) Series {
+	if rel.Len() == 0 {
+		return nil
+	}
+	ivs := make([]interval.Interval, rel.Len())
+	for i := range rel.Tuples {
+		ivs[i] = rel.Tuples[i].T
+	}
+	elem := interval.Elementary(ivs)
+
+	// Sort tuples by start to bound the scan per elementary interval.
+	idx := make([]int, rel.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return rel.Tuples[idx[a]].T.Less(rel.Tuples[idx[b]].T)
+	})
+
+	ev := prob.NewEvaluator(rel.Probs)
+	probOf := make([]float64, rel.Len())
+	for i := range rel.Tuples {
+		probOf[i] = ev.Prob(rel.Tuples[i].Lineage)
+	}
+
+	out := make(Series, 0, len(elem))
+	for _, el := range elem {
+		var pt Point
+		pt.T = el
+		var activeProbs []float64
+		var activeLams []*lineage.Expr
+		for _, i := range idx {
+			tu := &rel.Tuples[i]
+			if tu.T.Start >= el.End {
+				break
+			}
+			if !tu.T.ContainsInterval(el) {
+				continue
+			}
+			pt.N++
+			pt.Expected += weight(tu, probOf[i])
+			if withDist {
+				activeProbs = append(activeProbs, probOf[i])
+				activeLams = append(activeLams, tu.Lineage)
+			}
+		}
+		if withDist && pt.N > 0 {
+			if pairwiseDisjoint(activeLams) {
+				pt.Dist = poissonBinomial(activeProbs)
+			}
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// pairwiseDisjoint reports whether no base event occurs in two lineages.
+func pairwiseDisjoint(lams []*lineage.Expr) bool {
+	seen := make(map[lineage.Var]struct{})
+	for _, lam := range lams {
+		for _, v := range lam.Vars() {
+			if _, dup := seen[v]; dup {
+				return false
+			}
+			seen[v] = struct{}{}
+		}
+	}
+	return true
+}
+
+// poissonBinomial computes the distribution of the number of successes of
+// independent Bernoulli trials with the given probabilities, by the
+// standard O(n²) convolution.
+func poissonBinomial(ps []float64) []float64 {
+	dist := make([]float64, len(ps)+1)
+	dist[0] = 1
+	for _, p := range ps {
+		for k := len(dist) - 1; k >= 1; k-- {
+			dist[k] = dist[k]*(1-p) + dist[k-1]*p
+		}
+		dist[0] *= 1 - p
+	}
+	return dist
+}

@@ -1,0 +1,176 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tpjoin/internal/core"
+	"tpjoin/internal/interval"
+	"tpjoin/internal/tp"
+)
+
+func paperB() *tp.Relation {
+	b := tp.NewRelation("b", "Hotel", "Loc")
+	b.Append(tp.Strings("hotel3", "SOR"), interval.New(1, 4), 0.9)
+	b.Append(tp.Strings("hotel2", "ZAK"), interval.New(5, 8), 0.6)
+	b.Append(tp.Strings("hotel1", "ZAK"), interval.New(4, 6), 0.7)
+	return b
+}
+
+func approx(t *testing.T, got, want float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s: got %g, want %g", msg, got, want)
+	}
+}
+
+func TestExpectedCountPaperExample(t *testing.T) {
+	s := ExpectedCount(paperB())
+	// Elementary intervals: [1,4) b1; [4,5) b3; [5,6) b3+b2; [6,8) b2.
+	if len(s) != 4 {
+		t.Fatalf("series has %d points, want 4: %v", len(s), s)
+	}
+	approx(t, s[0].Expected, 0.9, "[1,4)")
+	approx(t, s[1].Expected, 0.7, "[4,5)")
+	approx(t, s[2].Expected, 1.3, "[5,6)")
+	approx(t, s[3].Expected, 0.6, "[6,8)")
+	if s[2].N != 2 || !s[2].T.Equal(interval.New(5, 6)) {
+		t.Errorf("point 2 wrong: %+v", s[2])
+	}
+}
+
+func TestCountDistributionPaperExample(t *testing.T) {
+	s := CountDistribution(paperB())
+	// Over [5,6): hotels with p 0.7 and 0.6 → P(0)=0.12 P(1)=0.46 P(2)=0.42.
+	pt := s[2]
+	if pt.Dist == nil {
+		t.Fatalf("distribution missing for independent base tuples")
+	}
+	approx(t, pt.Dist[0], 0.12, "P(0)")
+	approx(t, pt.Dist[1], 0.46, "P(1)")
+	approx(t, pt.Dist[2], 0.42, "P(2)")
+	approx(t, pt.AtLeast(1), 0.88, "P(≥1)")
+	approx(t, pt.AtLeast(0), 1.0, "P(≥0)")
+	// Expectation must match the distribution's mean.
+	mean := 0.0
+	for k, p := range pt.Dist {
+		mean += float64(k) * p
+	}
+	approx(t, pt.Expected, mean, "expectation vs distribution mean")
+}
+
+func TestDependentLineagesNoDistribution(t *testing.T) {
+	// A derived relation whose tuples share base events: the distribution
+	// must be reported absent, not wrong.
+	a := tp.NewRelation("a", "Name", "Loc")
+	a.Append(tp.Strings("Ann", "ZAK"), interval.New(2, 8), 0.7)
+	b := paperB()
+	q := core.LeftOuterJoin(a, b, tp.Equi(1, 1))
+	s := CountDistribution(q)
+	foundAbsent := false
+	for _, pt := range s {
+		if pt.N >= 2 && pt.Dist == nil {
+			foundAbsent = true
+		}
+	}
+	if !foundAbsent {
+		t.Errorf("dependent lineages must suppress the distribution: %+v", s)
+	}
+	// Panic on AtLeast without a distribution.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("AtLeast on absent distribution must panic")
+		}
+	}()
+	Point{}.AtLeast(1)
+}
+
+func TestExpectedSum(t *testing.T) {
+	r := tp.NewRelation("r", "Sensor", "Load")
+	r.Append(tp.Fact{tp.String_("s1"), tp.Int(100)}, interval.New(0, 4), 0.5)
+	r.Append(tp.Fact{tp.String_("s2"), tp.Int(50)}, interval.New(2, 6), 0.8)
+	s := ExpectedSum(r, 1)
+	// [0,2): 0.5·100 = 50; [2,4): 50 + 0.8·50 = 90; [4,6): 40.
+	if len(s) != 3 {
+		t.Fatalf("series %v", s)
+	}
+	approx(t, s[0].Expected, 50, "[0,2)")
+	approx(t, s[1].Expected, 90, "[2,4)")
+	approx(t, s[2].Expected, 40, "[4,6)")
+}
+
+func TestExpectedSumPanicsOnString(t *testing.T) {
+	r := tp.NewRelation("r", "K")
+	r.Append(tp.Strings("oops"), interval.New(0, 1), 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on non-numeric sum column")
+		}
+	}()
+	ExpectedSum(r, 0)
+}
+
+func TestEmptyRelation(t *testing.T) {
+	if s := ExpectedCount(tp.NewRelation("r", "K")); s != nil {
+		t.Errorf("empty relation must give nil series")
+	}
+}
+
+func TestExpectedCountMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	r := tp.NewRelation("r", "K")
+	type span struct{ s, e interval.Time }
+	var used []span
+	for i := 0; i < 6; i++ {
+		st := interval.Time(rng.Intn(10))
+		e := st + 1 + interval.Time(rng.Intn(6))
+		ok := true
+		for _, u := range used {
+			if st < u.e && u.s < e {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		used = append(used, span{st, e})
+		r.Append(tp.Strings("k"), interval.New(st, e), 0.2+0.6*rng.Float64())
+	}
+	series := CountDistribution(r)
+	for _, pt := range series {
+		if pt.Dist == nil {
+			t.Fatalf("base tuples must be independent")
+		}
+		// Distribution sums to 1.
+		sum := 0.0
+		for _, p := range pt.Dist {
+			sum += p
+		}
+		approx(t, sum, 1.0, "distribution normalization")
+	}
+}
+
+func TestSweepCoversExactlyValidity(t *testing.T) {
+	b := paperB()
+	s := ExpectedCount(b)
+	covered := func(tt interval.Time) bool {
+		for _, pt := range s {
+			if pt.T.Contains(tt) {
+				return true
+			}
+		}
+		return false
+	}
+	for tt := interval.Time(0); tt < 10; tt++ {
+		want := false
+		for _, tu := range b.Tuples {
+			if tu.T.Contains(tt) {
+				want = true
+			}
+		}
+		if covered(tt) != want {
+			t.Errorf("coverage mismatch at %d", tt)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package agg_test
+
+import (
+	"fmt"
+
+	"tpjoin/internal/agg"
+	"tpjoin/internal/interval"
+	"tpjoin/internal/tp"
+)
+
+// The expected number of true tuples over time, with the exact count
+// distribution where base events are independent.
+func ExampleCountDistribution() {
+	outages := tp.NewRelation("o", "Service")
+	outages.Append(tp.Strings("api"), interval.New(0, 6), 0.5)
+	outages.Append(tp.Strings("db"), interval.New(3, 9), 0.4)
+
+	for _, pt := range agg.CountDistribution(outages) {
+		fmt.Printf("%s E=%.2f Pr(≥1)=%.2f\n", pt.T, pt.Expected, pt.AtLeast(1))
+	}
+	// Output:
+	// [0,3) E=0.50 Pr(≥1)=0.50
+	// [3,6) E=0.90 Pr(≥1)=0.70
+	// [6,9) E=0.40 Pr(≥1)=0.40
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+
+	"tpjoin/internal/align"
+	"tpjoin/internal/core"
+	"tpjoin/internal/dataset"
+	"tpjoin/internal/tp"
+)
+
+// AblationSelectivity sweeps the number of distinct join keys at a fixed
+// input size, interpolating between the Webkit regime (many keys,
+// selective θ) and the Meteo regime (few keys, non-selective θ). The
+// paper attributes Meteo's higher runtimes to exactly this parameter;
+// the ablation isolates it from all other dataset differences.
+func AblationSelectivity(n int, keyCounts []int, opt Options) Figure {
+	if len(keyCounts) == 0 {
+		keyCounts = []int{10, 40, 160, 640, 2560}
+	}
+	fig := Figure{
+		ID:      "S1",
+		Title:   fmt.Sprintf("Selectivity ablation (n=%d, distinct keys varied)", n),
+		Dataset: "synthetic",
+	}
+	nj := Series{Name: "NJ"}
+	ta := Series{Name: "TA"}
+	for _, keys := range keyCounts {
+		r := dataset.Generate(dataset.Config{
+			Name: "r", N: n / 2, Keys: keys, KeyPrefix: "k",
+			Groups: 4, GroupPrefix: "g",
+			MeanDur: 50, MeanGap: 8, Seed: opt.seed(),
+		})
+		s := dataset.Generate(dataset.Config{
+			Name: "s", N: n - n/2, Keys: keys, KeyPrefix: "k",
+			Groups: 4, GroupPrefix: "g",
+			MeanDur: 50, MeanGap: 8, Seed: opt.seed() + 1,
+		})
+		theta := tp.Equi(0, 0)
+		// Abuse Point.N to carry the key count (the x axis of this figure).
+		nj.Points = append(nj.Points, Point{N: keys * 1000, Millis: timeIt(opt.repeats(), func() {
+			core.LeftOuterJoin(r, s, theta)
+		})})
+		ta.Points = append(ta.Points, Point{N: keys * 1000, Millis: timeIt(opt.repeats(), func() {
+			align.LeftOuterJoin(r, s, theta, align.Config{})
+		})})
+	}
+	fig.Series = []Series{nj, ta}
+	return fig
+}
+
+// AblationGroupSize sweeps the number of concurrently valid tuples per
+// fact chain (the Groups parameter), which controls how many s tuples a
+// negating window must disjoin — LAWAN's priority-queue depth.
+func AblationGroupSize(n int, groupCounts []int, opt Options) Figure {
+	if len(groupCounts) == 0 {
+		groupCounts = []int{1, 4, 16, 64}
+	}
+	fig := Figure{
+		ID:      "S2",
+		Title:   fmt.Sprintf("Group-size ablation (n=%d, stations per metric varied)", n),
+		Dataset: "synthetic",
+	}
+	nj := Series{Name: "NJ-WUON"}
+	for _, g := range groupCounts {
+		r := dataset.Generate(dataset.Config{
+			Name: "r", N: n / 2, Keys: 20, KeyPrefix: "k",
+			Groups: g, GroupPrefix: "st",
+			MeanDur: 50, MeanGap: 8, Seed: opt.seed(),
+		})
+		s := dataset.Generate(dataset.Config{
+			Name: "s", N: n - n/2, Keys: 20, KeyPrefix: "k",
+			Groups: g, GroupPrefix: "st",
+			MeanDur: 50, MeanGap: 8, Seed: opt.seed() + 1,
+		})
+		theta := tp.Equi(0, 0)
+		nj.Points = append(nj.Points, Point{N: g * 1000, Millis: timeIt(opt.repeats(), func() {
+			core.Count(core.LAWAN(core.LAWAU(core.OverlapJoin(r, s, theta))))
+		})})
+	}
+	fig.Series = []Series{nj}
+	return fig
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tiny sizes keep the harness's own tests fast; the real sweeps run via
+// cmd/tpbench and the top-level testing.B benchmarks.
+var tiny = Options{Sizes: []int{1000, 2000}, Seed: 3, Repeats: 1}
+
+func TestFig5Shape(t *testing.T) {
+	fig := Fig5("webkit", tiny)
+	if fig.ID != "5a" || len(fig.Series) != 2 {
+		t.Fatalf("unexpected figure: %+v", fig)
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %s has %d points, want 2", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Millis < 0 {
+				t.Errorf("negative runtime")
+			}
+		}
+	}
+	if fig.Series[0].Name != "NJ" || fig.Series[1].Name != "TA" {
+		t.Errorf("series order wrong: %v, %v", fig.Series[0].Name, fig.Series[1].Name)
+	}
+}
+
+func TestFig6HasThreeSeries(t *testing.T) {
+	fig := Fig6("meteo", tiny)
+	if fig.ID != "6b" || len(fig.Series) != 3 {
+		t.Fatalf("unexpected figure: %+v", fig)
+	}
+	names := map[string]bool{}
+	for _, s := range fig.Series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"NJ-WN", "NJ-WUON", "TA"} {
+		if !names[want] {
+			t.Errorf("missing series %s", want)
+		}
+	}
+}
+
+func TestFig7BothDatasets(t *testing.T) {
+	for _, ds := range []string{"webkit", "meteo"} {
+		fig := Fig7(ds, tiny)
+		if len(fig.Series) != 2 {
+			t.Fatalf("%s: unexpected series count", ds)
+		}
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	if fig := ExtraAnti("webkit", tiny); fig.ID != "A1a" || len(fig.Series) != 2 {
+		t.Errorf("ExtraAnti: %+v", fig)
+	}
+	if fig := ExtraFullOuter("meteo", tiny); fig.ID != "A2b" || len(fig.Series) != 2 {
+		t.Errorf("ExtraFullOuter: %+v", fig)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	fig := Figure{
+		ID: "5a", Title: "WUO", Dataset: "webkit",
+		Series: []Series{
+			{Name: "NJ", Points: []Point{{N: 50000, Millis: 12.5}, {N: 100000, Millis: 30}}},
+			{Name: "TA", Points: []Point{{N: 50000, Millis: 40}, {N: 100000, Millis: 99.5}}},
+		},
+	}
+	got := Format(fig)
+	for _, want := range []string{"Fig. 5a", "NJ [ms]", "TA [ms]", "50", "100", "12.5", "99.5"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Format output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	fig := Figure{
+		Series: []Series{
+			{Name: "NJ", Points: []Point{{N: 1000, Millis: 10}}},
+			{Name: "TA", Points: []Point{{N: 1000, Millis: 40}}},
+		},
+	}
+	sp := Speedups(fig, "NJ", "TA")
+	if sp[1000] != 4 {
+		t.Errorf("speedup = %g, want 4", sp[1000])
+	}
+}
+
+func TestGeneratePanicsOnUnknownDataset(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	generate("nope", 10, 1)
+}
+
+func TestOptionDefaults(t *testing.T) {
+	var o Options
+	if o.repeats() != 1 || o.seed() != 1 {
+		t.Errorf("defaults wrong")
+	}
+	if got := o.sizes([]int{5}); len(got) != 1 || got[0] != 5 {
+		t.Errorf("default sizes wrong")
+	}
+	o.Sizes = []int{9}
+	if got := o.sizes([]int{5}); got[0] != 9 {
+		t.Errorf("override sizes wrong")
+	}
+}
+
+func TestAblationSelectivity(t *testing.T) {
+	fig := AblationSelectivity(2000, []int{5, 50}, Options{Seed: 2})
+	if fig.ID != "S1" || len(fig.Series) != 2 {
+		t.Fatalf("unexpected ablation figure: %+v", fig)
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %s point count wrong", s.Name)
+		}
+	}
+}
+
+func TestAblationGroupSize(t *testing.T) {
+	fig := AblationGroupSize(2000, []int{1, 8}, Options{Seed: 2})
+	if fig.ID != "S2" || len(fig.Series) != 1 || len(fig.Series[0].Points) != 2 {
+		t.Fatalf("unexpected ablation figure: %+v", fig)
+	}
+}
+
+func TestAblationDefaults(t *testing.T) {
+	// Default sweep lists must be applied when none given. Keep n tiny.
+	fig := AblationGroupSize(400, nil, Options{Seed: 2})
+	if len(fig.Series[0].Points) != 4 {
+		t.Errorf("default group sweep wrong: %+v", fig.Series[0].Points)
+	}
+}

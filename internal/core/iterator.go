@@ -1,0 +1,101 @@
+// Package core implements the paper's contribution: the pipelined
+// computation of generalized lineage-aware temporal windows and, on top of
+// them, the temporal-probabilistic joins with negation (anti, left outer,
+// right outer, full outer) plus the inner join.
+//
+// The computation is structured exactly as in Section III of the paper:
+//
+//	OverlapJoin   — the conventional outer join r ⟕_{θo∧θ} s, producing
+//	                the overlapping windows (enhanced with the original
+//	                interval of the r tuple) and the unmatched windows of
+//	                r tuples that match no tuple of s at all;
+//	LAWAU         — extends that stream with the remaining unmatched
+//	                windows (gaps inside partially covered r tuples);
+//	LAWAN         — extends the WUO stream with the negating windows,
+//	                using a priority queue over the end points of the
+//	                active s tuples.
+//
+// All three are pull-based iterators: windows stream through without
+// materializing intermediate sets and without replicating input tuples,
+// which is what allows the approach to run inside a pipelined DBMS
+// executor (internal/engine).
+package core
+
+import "tpjoin/internal/window"
+
+// Iterator is a pull-based stream of windows. Next returns the next window
+// and true, or a zero window and false when the stream is exhausted.
+type Iterator interface {
+	Next() (window.Window, bool)
+}
+
+// Drain materializes the remainder of an iterator into a slice.
+func Drain(it Iterator) []window.Window {
+	var out []window.Window
+	for {
+		w, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, w)
+	}
+}
+
+// Count consumes the iterator and returns the number of windows; used by
+// benchmarks to force full evaluation without retaining memory.
+func Count(it Iterator) int {
+	n := 0
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// SliceIterator replays a materialized window slice.
+type SliceIterator struct {
+	ws []window.Window
+	i  int
+}
+
+// NewSliceIterator returns an iterator over ws.
+func NewSliceIterator(ws []window.Window) *SliceIterator {
+	return &SliceIterator{ws: ws}
+}
+
+// Next implements Iterator.
+func (s *SliceIterator) Next() (window.Window, bool) {
+	if s.i >= len(s.ws) {
+		return window.Window{}, false
+	}
+	w := s.ws[s.i]
+	s.i++
+	return w, true
+}
+
+// queue is a simple FIFO used by operators that may emit several windows
+// per input window.
+type queue struct {
+	buf  []window.Window
+	head int
+}
+
+func (q *queue) push(w window.Window) { q.buf = append(q.buf, w) }
+
+func (q *queue) pop() (window.Window, bool) {
+	if q.head >= len(q.buf) {
+		return window.Window{}, false
+	}
+	w := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		// Reuse storage once fully drained to keep the queue allocation
+		// bounded by the burst size, not the stream length.
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return w, true
+}
+
+func (q *queue) empty() bool { return q.head >= len(q.buf) }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"container/heap"
+
+	"tpjoin/internal/interval"
+	"tpjoin/internal/lineage"
+	"tpjoin/internal/window"
+)
+
+// LAWAN (Lineage-Aware Window Advancer, Negating) extends the WUO stream
+// produced by LAWAU with the negating windows (paper, Section III-C,
+// Fig. 4): for every group of overlapping windows that share the same r
+// tuple, a negating window is created between every two consecutive event
+// points — the starting and ending points of the matching s tuples — with
+// λs the disjunction of the lineages of all s tuples active over the
+// subinterval.
+//
+// The ending points and lineages of the active s tuples are kept in a
+// priority queue ordered by ending point. Copies of the incoming windows
+// and newly created negating windows alternate in the output, exactly as
+// described in the paper. State per group is bounded by the maximal number
+// of concurrently valid matching s tuples.
+type lawan struct {
+	in  Iterator
+	out queue
+
+	inGroup  bool
+	rid      int
+	rt       interval.Interval
+	frLr     window.Window
+	active   activeSet
+	curStart interval.Time
+	done     bool
+}
+
+// LAWAN returns the negating-window sweep over in. The input must be
+// grouped by r tuple with overlapping windows sorted by starting point
+// (the order LAWAU preserves from OverlapJoin).
+func LAWAN(in Iterator) Iterator { return &lawan{in: in} }
+
+func (l *lawan) Next() (window.Window, bool) {
+	for {
+		if w, ok := l.out.pop(); ok {
+			return w, true
+		}
+		if l.done {
+			return window.Window{}, false
+		}
+		w, ok := l.in.Next()
+		if !ok {
+			l.flush()
+			l.done = true
+			continue
+		}
+		if !l.inGroup || w.RID != l.rid {
+			l.flush()
+			l.startGroup(w)
+		}
+		l.feed(w)
+	}
+}
+
+func (l *lawan) startGroup(w window.Window) {
+	l.inGroup = true
+	l.rid = w.RID
+	l.rt = w.RT
+	l.frLr = w
+	l.active.reset()
+}
+
+func (l *lawan) feed(w window.Window) {
+	if w.Class() != window.Overlapping {
+		// Unmatched windows need no negation; copy them through (Case 1).
+		l.out.push(w)
+		return
+	}
+	// Close the elementary intervals that end before this window starts
+	// (Cases 2 and 3 of Fig. 4), then activate its s tuple.
+	l.advance(w.T.Start)
+	l.out.push(w)
+	if l.active.empty() {
+		l.curStart = w.T.Start
+	}
+	l.active.push(w.T.End, w.Ls)
+}
+
+// advance emits the negating windows of all elementary intervals that are
+// completed at sweep position `to`.
+func (l *lawan) advance(to interval.Time) {
+	for !l.active.empty() {
+		e := l.active.minEnd()
+		if e > to {
+			break
+		}
+		if l.curStart < e {
+			l.emitNegating(l.curStart, e)
+		}
+		for !l.active.empty() && l.active.minEnd() == e {
+			l.active.pop()
+		}
+		l.curStart = e
+	}
+	if !l.active.empty() && l.curStart < to {
+		l.emitNegating(l.curStart, to)
+		l.curStart = to
+	}
+}
+
+// flush drains the remaining elementary intervals of the group being
+// closed.
+func (l *lawan) flush() {
+	if !l.inGroup {
+		return
+	}
+	l.advance(interval.MaxTime)
+}
+
+func (l *lawan) emitNegating(start, end interval.Time) {
+	l.out.push(window.Window{
+		Fr:  l.frLr.Fr,
+		T:   interval.Interval{Start: start, End: end},
+		Lr:  l.frLr.Lr,
+		Ls:  lineage.Or(l.active.lineages()...),
+		RID: l.rid, RT: l.rt,
+	})
+}
+
+// activeSet is the priority queue of the active s tuples: a min-heap on
+// ending points plus the lineages in activation order (so that printed
+// disjunctions follow the paper's reading order, e.g. b3 ∨ b2).
+type activeSet struct {
+	ends endHeap
+	lams []*lineage.Expr // activation order
+	scr  []*lineage.Expr // scratch for lineages()
+}
+
+type endEntry struct {
+	end interval.Time
+	lam *lineage.Expr
+}
+
+type endHeap []endEntry
+
+func (h endHeap) Len() int            { return len(h) }
+func (h endHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
+func (h endHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *endHeap) Push(x interface{}) { *h = append(*h, x.(endEntry)) }
+func (h *endHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (a *activeSet) reset() {
+	a.ends = a.ends[:0]
+	a.lams = a.lams[:0]
+}
+
+func (a *activeSet) empty() bool { return len(a.ends) == 0 }
+
+func (a *activeSet) minEnd() interval.Time { return a.ends[0].end }
+
+func (a *activeSet) push(end interval.Time, lam *lineage.Expr) {
+	heap.Push(&a.ends, endEntry{end: end, lam: lam})
+	a.lams = append(a.lams, lam)
+}
+
+// pop removes the active tuple with the minimal ending point, both from
+// the heap and from the activation-order list.
+func (a *activeSet) pop() {
+	e := heap.Pop(&a.ends).(endEntry)
+	for i, lam := range a.lams {
+		if lam == e.lam {
+			a.lams = append(a.lams[:i], a.lams[i+1:]...)
+			break
+		}
+	}
+}
+
+// lineages returns the active lineages in activation order. The returned
+// slice is reused across calls; lineage.Or copies what it keeps.
+func (a *activeSet) lineages() []*lineage.Expr {
+	a.scr = a.scr[:0]
+	a.scr = append(a.scr, a.lams...)
+	return a.scr
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"tpjoin/internal/interval"
+	"tpjoin/internal/window"
+)
+
+// LAWAU (Lineage-Aware Window Advancer, Unmatched) extends the output of
+// the overlap join with the remaining unmatched windows: the maximal
+// subintervals of each r tuple's validity interval during which no tuple
+// of s is valid or satisfies θ (paper, Section III-B, Fig. 3).
+//
+// The input stream must be grouped by r tuple (Window.RID) with each
+// group's overlapping windows sorted by starting point — exactly the order
+// OverlapJoin produces. LAWAU performs a single sweep over each group:
+// it copies every input window to the output and, tracking the maximal
+// covered end point, emits an unmatched window for every gap between
+// consecutive overlapping windows as well as for the uncovered head and
+// tail of the tuple's interval. Windows stream through with O(1) state per
+// group; no tuple is replicated.
+type lawau struct {
+	in  Iterator
+	out queue
+
+	inGroup bool
+	rid     int
+	rt      interval.Interval
+	frLr    window.Window // carries Fr/Lr of the current group for gap windows
+	maxEnd  interval.Time
+	sawBase bool // group consists of a base unmatched window (no matches at all)
+	done    bool
+}
+
+// LAWAU returns the unmatched-window sweep over in. See the package
+// documentation for the required input order.
+func LAWAU(in Iterator) Iterator { return &lawau{in: in} }
+
+func (l *lawau) Next() (window.Window, bool) {
+	for {
+		if w, ok := l.out.pop(); ok {
+			return w, true
+		}
+		if l.done {
+			return window.Window{}, false
+		}
+		w, ok := l.in.Next()
+		if !ok {
+			l.flush()
+			l.done = true
+			continue
+		}
+		if !l.inGroup || w.RID != l.rid {
+			l.flush()
+			l.startGroup(w)
+		}
+		l.feed(w)
+	}
+}
+
+func (l *lawau) startGroup(w window.Window) {
+	l.inGroup = true
+	l.rid = w.RID
+	l.rt = w.RT
+	l.frLr = w
+	l.maxEnd = w.RT.Start
+	l.sawBase = false
+}
+
+func (l *lawau) feed(w window.Window) {
+	if w.Class() == window.Unmatched {
+		// Base unmatched window from the overlap join: the r tuple has no
+		// match at all; its window already spans the whole interval.
+		l.sawBase = true
+		l.out.push(w)
+		return
+	}
+	// Case analysis of Fig. 3: a gap exists iff the next overlapping
+	// window starts after the covered prefix ends.
+	if w.T.Start > l.maxEnd {
+		l.out.push(l.gap(l.maxEnd, w.T.Start))
+	}
+	l.out.push(w)
+	if w.T.End > l.maxEnd {
+		l.maxEnd = w.T.End
+	}
+}
+
+// flush emits the tail gap of the group being closed, if any.
+func (l *lawau) flush() {
+	if !l.inGroup || l.sawBase {
+		return
+	}
+	if l.maxEnd < l.rt.End {
+		l.out.push(l.gap(l.maxEnd, l.rt.End))
+	}
+}
+
+func (l *lawau) gap(start, end interval.Time) window.Window {
+	return window.Window{
+		Fr: l.frLr.Fr, T: interval.Interval{Start: start, End: end},
+		Lr: l.frLr.Lr, RID: l.rid, RT: l.rt,
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"tpjoin/internal/lineage"
+	"tpjoin/internal/prob"
+	"tpjoin/internal/tp"
+	"tpjoin/internal/window"
+)
+
+// This file composes the window streams into the TP join operators
+// following Table II of the paper:
+//
+//	r ▷ s   : WU(r;s,θ) ∪ WN(r;s,θ)
+//	r ⟕ s  : WU(r;s,θ) ∪ WN(r;s,θ) ∪ WO(r;s,θ)
+//	r ⟖ s  : WO(r;s,θ) ∪ WU(s;r,θ) ∪ WN(s;r,θ)
+//	r ⟗ s  : all five sets
+//	r ⋈ s   : WO(r;s,θ)
+//
+// and forms one output tuple per window with the lineage-concatenation
+// function of its class: and(λr,λs) for overlapping, λr for unmatched and
+// andNot(λr,λs) = λr ∧ ¬λs for negating windows.
+
+// TupleIterator is a pull-based stream of output tuples; the join
+// operators produce their results through it without materializing, which
+// is how they plug into the pipelined executor (internal/engine).
+type TupleIterator interface {
+	Next() (tp.Tuple, bool)
+}
+
+// JoinStream returns the pipelined result stream of the TP join `op` and
+// the output attribute names. The input relations must satisfy the
+// sequenced-TP constraint (see Relation.ValidateSequenced); output tuple
+// probabilities are exact.
+func JoinStream(op tp.Op, r, s *tp.Relation, theta tp.Theta) (TupleIterator, []string) {
+	return joinStreamWithProbs(op, r, s, theta, tp.MergeProbs(r, s))
+}
+
+// joinStreamWithProbs is JoinStream with a pre-merged base-event
+// probability map, letting callers that evaluate many partitioned joins
+// over the same database (ParallelJoin) amortize the merge.
+func joinStreamWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs) (TupleIterator, []string) {
+	attrs := joinAttrs(r, s)
+	var phases []phase
+	switch op {
+	case tp.OpInner:
+		phases = []phase{{
+			it:   OverlapJoin(r, s, theta),
+			opts: emitOpts{keepOverlap: true, sArity: s.Arity()},
+		}}
+	case tp.OpAnti:
+		attrs = append([]string(nil), r.Attrs...)
+		phases = []phase{{
+			it:   LAWAN(LAWAU(OverlapJoin(r, s, theta))),
+			opts: emitOpts{keepUnmatched: true, keepNegating: true, antiSchema: true, sArity: s.Arity()},
+		}}
+	case tp.OpLeft:
+		phases = []phase{{
+			it:   LAWAN(LAWAU(OverlapJoin(r, s, theta))),
+			opts: emitOpts{keepOverlap: true, keepUnmatched: true, keepNegating: true, sArity: s.Arity()},
+		}}
+	case tp.OpRight:
+		phases = []phase{{
+			it:   LAWAN(LAWAU(OverlapJoin(s, r, tp.Swap(theta)))),
+			opts: emitOpts{keepOverlap: true, keepUnmatched: true, keepNegating: true, mirror: true, sArity: r.Arity()},
+		}}
+	case tp.OpFull:
+		phases = []phase{
+			{
+				it:   LAWAN(LAWAU(OverlapJoin(r, s, theta))),
+				opts: emitOpts{keepOverlap: true, keepUnmatched: true, keepNegating: true, sArity: s.Arity()},
+			},
+			{
+				it:   LAWAN(LAWAU(OverlapJoin(s, r, tp.Swap(theta)))),
+				opts: emitOpts{keepUnmatched: true, keepNegating: true, mirror: true, sArity: r.Arity()},
+			},
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown operator %v", op))
+	}
+	return &joinStream{phases: phases, ev: prob.NewEvaluator(probs)}, attrs
+}
+
+// Join computes the TP join of the given operator, materializing the
+// stream of JoinStream into a new relation.
+func Join(op tp.Op, r, s *tp.Relation, theta tp.Theta) *tp.Relation {
+	return joinWithProbs(op, r, s, theta, tp.MergeProbs(r, s))
+}
+
+func joinWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs) *tp.Relation {
+	it, attrs := joinStreamWithProbs(op, r, s, theta, probs)
+	out := &tp.Relation{
+		Name:  fmt.Sprintf("%s_%s_%s", r.Name, opTag(op), s.Name),
+		Attrs: attrs,
+		Probs: probs,
+	}
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+}
+
+// InnerJoin computes r ⋈Tp s: output tuples for the overlapping windows only.
+func InnerJoin(r, s *tp.Relation, theta tp.Theta) *tp.Relation {
+	return Join(tp.OpInner, r, s, theta)
+}
+
+// AntiJoin computes r ▷Tp s: at each time point the probability that the
+// r tuple matches none of the valid s tuples. The output schema is r's.
+func AntiJoin(r, s *tp.Relation, theta tp.Theta) *tp.Relation {
+	return Join(tp.OpAnti, r, s, theta)
+}
+
+// LeftOuterJoin computes r ⟕Tp s: pairings plus, at each time point, the
+// probability that the r tuple matches no valid s tuple.
+func LeftOuterJoin(r, s *tp.Relation, theta tp.Theta) *tp.Relation {
+	return Join(tp.OpLeft, r, s, theta)
+}
+
+// RightOuterJoin computes r ⟖Tp s, running the window pipeline with the
+// inputs swapped and mirroring the output facts back into (r, s) order.
+func RightOuterJoin(r, s *tp.Relation, theta tp.Theta) *tp.Relation {
+	return Join(tp.OpRight, r, s, theta)
+}
+
+// FullOuterJoin computes r ⟗Tp s: the overlapping windows once, plus the
+// unmatched and negating windows of both directions.
+func FullOuterJoin(r, s *tp.Relation, theta tp.Theta) *tp.Relation {
+	return Join(tp.OpFull, r, s, theta)
+}
+
+func opTag(op tp.Op) string {
+	switch op {
+	case tp.OpInner:
+		return "join"
+	case tp.OpAnti:
+		return "anti"
+	case tp.OpLeft:
+		return "louter"
+	case tp.OpRight:
+		return "router"
+	default:
+		return "fouter"
+	}
+}
+
+// phase is one window pipeline with its tuple-formation options.
+type phase struct {
+	it   Iterator
+	opts emitOpts
+}
+
+// joinStream converts window streams into output tuples lazily.
+type joinStream struct {
+	phases []phase
+	cur    int
+	ev     *prob.Evaluator
+}
+
+func (j *joinStream) Next() (tp.Tuple, bool) {
+	for j.cur < len(j.phases) {
+		ph := &j.phases[j.cur]
+		w, ok := ph.it.Next()
+		if !ok {
+			j.cur++
+			continue
+		}
+		if t, ok := ph.opts.tuple(w, j.ev); ok {
+			return t, true
+		}
+	}
+	return tp.Tuple{}, false
+}
+
+// emitOpts selects which window classes contribute output tuples and how
+// facts are assembled.
+type emitOpts struct {
+	keepOverlap   bool
+	keepUnmatched bool
+	keepNegating  bool
+	// mirror indicates the pipeline ran with swapped inputs: the window's
+	// Fr is a fact of s, and output facts must be reassembled in (r, s)
+	// attribute order.
+	mirror bool
+	// sArity is the arity of the NULL-extended side.
+	sArity int
+	// antiSchema drops the NULL-extension entirely (anti join outputs have
+	// r's schema).
+	antiSchema bool
+}
+
+// tuple forms the output tuple of window w, or reports false when w's
+// class is not part of the operator.
+func (o emitOpts) tuple(w window.Window, ev *prob.Evaluator) (tp.Tuple, bool) {
+	var f tp.Fact
+	var lam *lineage.Expr
+	switch w.Class() {
+	case window.Overlapping:
+		if !o.keepOverlap {
+			return tp.Tuple{}, false
+		}
+		if o.mirror {
+			f = w.Fs.Concat(w.Fr)
+		} else {
+			f = w.Fr.Concat(w.Fs)
+		}
+		lam = lineage.And(w.Lr, w.Ls)
+	case window.Unmatched:
+		if !o.keepUnmatched {
+			return tp.Tuple{}, false
+		}
+		f = o.negFact(w)
+		lam = w.Lr
+	default: // Negating
+		if !o.keepNegating {
+			return tp.Tuple{}, false
+		}
+		f = o.negFact(w)
+		lam = lineage.AndNot(w.Lr, w.Ls)
+	}
+	return tp.Tuple{Fact: f, Lineage: lam, T: w.T, Prob: ev.Prob(lam)}, true
+}
+
+func (o emitOpts) negFact(w window.Window) tp.Fact {
+	if o.antiSchema {
+		return w.Fr
+	}
+	if o.mirror {
+		return tp.Nulls(o.sArity).Concat(w.Fr)
+	}
+	return w.Fr.Concat(tp.Nulls(o.sArity))
+}
+
+func joinAttrs(r, s *tp.Relation) []string {
+	attrs := make([]string, 0, len(r.Attrs)+len(s.Attrs))
+	attrs = append(attrs, r.Attrs...)
+	attrs = append(attrs, s.Attrs...)
+	return attrs
+}
+
+// WUO materializes the overlapping and unmatched windows of r with respect
+// to s (the quantity measured in the paper's Fig. 5).
+func WUO(r, s *tp.Relation, theta tp.Theta) []window.Window {
+	return Drain(LAWAU(OverlapJoin(r, s, theta)))
+}
+
+// WUON materializes all three window sets (the quantity measured in the
+// paper's Fig. 6 as NJ-WUON).
+func WUON(r, s *tp.Relation, theta tp.Theta) []window.Window {
+	return Drain(LAWAN(LAWAU(OverlapJoin(r, s, theta))))
+}

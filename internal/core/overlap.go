@@ -1,0 +1,154 @@
+package core
+
+import (
+	"sort"
+
+	"tpjoin/internal/tp"
+	"tpjoin/internal/window"
+)
+
+// OverlapJoin computes the conventional outer join r ⟕_{θo∧θ} s of the
+// paper's Section III-A: for every tuple of r, the overlapping windows
+// against all matching tuples of s (sorted by starting point), or a single
+// unmatched window spanning the tuple's whole interval when nothing
+// matches. Every window is enhanced with the original interval of its r
+// tuple (Window.RT) and the tuple's identity (Window.RID), which is the
+// grouping the downstream sweeps rely on.
+//
+// For equi conditions the join hash-partitions s once (build side) and
+// probes per r tuple; for general θ it falls back to a nested loop over s
+// presorted by starting point. Either way the output streams one r-tuple
+// group at a time: memory is bounded by the largest per-tuple match set,
+// not by the result size.
+func OverlapJoin(r, s *tp.Relation, theta tp.Theta) Iterator {
+	if eq, ok := theta.(tp.EquiTheta); ok {
+		return newHashOverlapJoin(r, s, eq)
+	}
+	return newLoopOverlapJoin(r, s, theta)
+}
+
+// sEntry is one build-side tuple with its precomputed fields.
+type sEntry struct {
+	idx int // index in s.Tuples
+}
+
+type hashOverlapJoin struct {
+	r     *tp.Relation
+	s     *tp.Relation
+	eq    tp.EquiTheta
+	table map[string][]int // equi key → s tuple indexes, sorted by T.Start
+	ri    int
+	out   queue
+}
+
+func newHashOverlapJoin(r, s *tp.Relation, eq tp.EquiTheta) *hashOverlapJoin {
+	j := &hashOverlapJoin{r: r, s: s, eq: eq, table: make(map[string][]int)}
+	for i := range s.Tuples {
+		k, ok := eq.SKey(s.Tuples[i].Fact)
+		if !ok {
+			continue // NULL join key matches nothing
+		}
+		j.table[k] = append(j.table[k], i)
+	}
+	for _, bucket := range j.table {
+		sort.SliceStable(bucket, func(a, b int) bool {
+			return s.Tuples[bucket[a]].T.Less(s.Tuples[bucket[b]].T)
+		})
+	}
+	return j
+}
+
+func (j *hashOverlapJoin) Next() (window.Window, bool) {
+	for {
+		if w, ok := j.out.pop(); ok {
+			return w, true
+		}
+		if j.ri >= len(j.r.Tuples) {
+			return window.Window{}, false
+		}
+		rt := &j.r.Tuples[j.ri]
+		matched := false
+		if key, ok := j.eq.RKey(rt.Fact); ok {
+			for _, si := range j.table[key] {
+				st := &j.s.Tuples[si]
+				if st.T.Start >= rt.T.End {
+					break // bucket sorted by start: nothing later overlaps
+				}
+				if !st.T.Overlaps(rt.T) {
+					continue
+				}
+				matched = true
+				j.out.push(window.Window{
+					Fr: rt.Fact, Fs: st.Fact,
+					T:  rt.T.Intersect(st.T),
+					Lr: rt.Lineage, Ls: st.Lineage,
+					RID: j.ri, RT: rt.T,
+				})
+			}
+		}
+		if !matched {
+			j.out.push(window.Window{
+				Fr: rt.Fact, T: rt.T, Lr: rt.Lineage,
+				RID: j.ri, RT: rt.T,
+			})
+		}
+		j.ri++
+	}
+}
+
+type loopOverlapJoin struct {
+	r     *tp.Relation
+	s     *tp.Relation
+	theta tp.Theta
+	order []int // s tuple indexes sorted by T.Start
+	ri    int
+	out   queue
+}
+
+func newLoopOverlapJoin(r, s *tp.Relation, theta tp.Theta) *loopOverlapJoin {
+	j := &loopOverlapJoin{r: r, s: s, theta: theta}
+	j.order = make([]int, len(s.Tuples))
+	for i := range j.order {
+		j.order[i] = i
+	}
+	sort.SliceStable(j.order, func(a, b int) bool {
+		return s.Tuples[j.order[a]].T.Less(s.Tuples[j.order[b]].T)
+	})
+	return j
+}
+
+func (j *loopOverlapJoin) Next() (window.Window, bool) {
+	for {
+		if w, ok := j.out.pop(); ok {
+			return w, true
+		}
+		if j.ri >= len(j.r.Tuples) {
+			return window.Window{}, false
+		}
+		rt := &j.r.Tuples[j.ri]
+		matched := false
+		for _, si := range j.order {
+			st := &j.s.Tuples[si]
+			if st.T.Start >= rt.T.End {
+				break
+			}
+			if !st.T.Overlaps(rt.T) || !j.theta.Match(rt.Fact, st.Fact) {
+				continue
+			}
+			matched = true
+			j.out.push(window.Window{
+				Fr: rt.Fact, Fs: st.Fact,
+				T:  rt.T.Intersect(st.T),
+				Lr: rt.Lineage, Ls: st.Lineage,
+				RID: j.ri, RT: rt.T,
+			})
+		}
+		if !matched {
+			j.out.push(window.Window{
+				Fr: rt.Fact, T: rt.T, Lr: rt.Lineage,
+				RID: j.ri, RT: rt.T,
+			})
+		}
+		j.ri++
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"tpjoin/internal/tp"
+)
+
+// ParallelJoin evaluates a TP join with equi-θ by hash-partitioning both
+// inputs on the join key and running the NJ pipeline on every partition
+// concurrently. Facts with different keys never match, and all windows of
+// one r tuple are confined to its partition, so partition results simply
+// concatenate. Output tuple order is deterministic (partition-major,
+// pipeline order within a partition) regardless of scheduling.
+//
+// This is the parallelism model a partitioned DBMS executor would apply
+// to the paper's operators; the sweep algorithms themselves stay strictly
+// sequential per partition, as their correctness depends on group order.
+func ParallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int) *tp.Relation {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	parts := workers * 4 // over-partition to smooth skew
+	if parts < 1 {
+		parts = 1
+	}
+
+	rParts := partition(r, eq.RCols, parts)
+	sParts := partition(s, eq.SCols, parts)
+
+	// Merge the base-event probabilities once; the map is only read by
+	// the workers' evaluators, so sharing it across goroutines is safe.
+	merged := tp.MergeProbs(r, s)
+
+	results := make([]*tp.Relation, parts)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[p] = joinWithProbs(op, rParts[p], sParts[p], eq, merged)
+		}(p)
+	}
+	wg.Wait()
+
+	out := &tp.Relation{
+		Name:  fmt.Sprintf("%s_%s_%s", r.Name, opTag(op), s.Name),
+		Attrs: results[0].Attrs,
+		Probs: merged,
+	}
+	n := 0
+	for _, res := range results {
+		n += res.Len()
+	}
+	out.Tuples = make([]tp.Tuple, 0, n)
+	for _, res := range results {
+		out.Tuples = append(out.Tuples, res.Tuples...)
+	}
+	return out
+}
+
+// partition splits rel into parts sub-relations by the hash of the join
+// key. Tuples whose key contains NULL match nothing; they still must flow
+// through the join (outer/anti semantics keep them), so they are assigned
+// round-robin by tuple index.
+func partition(rel *tp.Relation, cols []int, parts int) []*tp.Relation {
+	out := make([]*tp.Relation, parts)
+	for i := range out {
+		out[i] = &tp.Relation{Name: rel.Name, Attrs: rel.Attrs, Probs: rel.Probs}
+	}
+	eq := tp.EquiTheta{RCols: cols, SCols: cols}
+	for i := range rel.Tuples {
+		t := &rel.Tuples[i]
+		var p int
+		if key, ok := eq.RKey(t.Fact); ok {
+			h := fnv.New32a()
+			_, _ = h.Write([]byte(key))
+			p = int(h.Sum32() % uint32(parts))
+		} else {
+			p = i % parts
+		}
+		out[p].Tuples = append(out[p].Tuples, *t)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+
+	"tpjoin/internal/interval"
+	"tpjoin/internal/lineage"
+	"tpjoin/internal/prob"
+	"tpjoin/internal/tp"
+)
+
+// ProjectLineage computes the temporal-probabilistic projection of rel to
+// the given fact columns *with duplicate elimination*: tuples that agree
+// on the projected fact and are valid at the same time point merge, and
+// the merged tuple is true when any of the originals is — its lineage is
+// the disjunction of theirs. (Without lineages this is sequenced
+// DISTINCT; with them it is the standard probabilistic-database
+// projection, here combined with temporal splitting.)
+//
+// The implementation follows the same sweeping scheme as the negating
+// windows: per projected fact, the validity intervals of the contributing
+// tuples are split at every start/end point, and each elementary interval
+// carries the disjunction of the lineages valid over it. Adjacent
+// intervals whose disjunctions are structurally equal are re-coalesced,
+// so maximal intervals come out (e.g. a projection that drops a column
+// distinguishing two adjacent chunks yields one merged tuple).
+func ProjectLineage(rel *tp.Relation, cols []int, names []string) *tp.Relation {
+	if len(cols) != len(names) {
+		panic("core: ProjectLineage arity mismatch")
+	}
+	out := &tp.Relation{
+		Name:  rel.Name + "_proj",
+		Attrs: append([]string(nil), names...),
+		Probs: rel.Probs,
+	}
+
+	type entry struct {
+		t   interval.Interval
+		lam *lineage.Expr
+	}
+	groups := make(map[string][]entry)
+	facts := make(map[string]tp.Fact)
+	var order []string
+	for _, tu := range rel.Tuples {
+		f := make(tp.Fact, len(cols))
+		for i, c := range cols {
+			f[i] = tu.Fact[c]
+		}
+		k := f.Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+			facts[k] = f
+		}
+		groups[k] = append(groups[k], entry{t: tu.T, lam: tu.Lineage})
+	}
+
+	ev := prob.NewEvaluator(rel.Probs)
+	for _, k := range order {
+		es := groups[k]
+		// Elementary intervals of the group's coverage.
+		ivs := make([]interval.Interval, len(es))
+		for i, e := range es {
+			ivs[i] = e.t
+		}
+		elem := interval.Elementary(ivs)
+		// Build one tuple per elementary interval, then coalesce runs with
+		// equal lineage.
+		type chunk struct {
+			t   interval.Interval
+			lam *lineage.Expr
+		}
+		chunks := make([]chunk, 0, len(elem))
+		for _, el := range elem {
+			var parts []*lineage.Expr
+			for _, e := range es {
+				if e.t.ContainsInterval(el) {
+					parts = append(parts, e.lam)
+				}
+			}
+			chunks = append(chunks, chunk{t: el, lam: lineage.Or(parts...)})
+		}
+		sort.SliceStable(chunks, func(i, j int) bool { return chunks[i].t.Less(chunks[j].t) })
+		for i := 0; i < len(chunks); {
+			j := i + 1
+			cur := chunks[i]
+			for j < len(chunks) && chunks[j].t.Start == cur.t.End && chunks[j].lam.Equal(cur.lam) {
+				cur.t.End = chunks[j].t.End
+				j++
+			}
+			out.AppendDerived(facts[k], cur.lam, cur.t, ev.Prob(cur.lam))
+			i = j
+		}
+	}
+	return out
+}

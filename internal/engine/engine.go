@@ -1,0 +1,300 @@
+// Package engine is a small Volcano-style (pull-based iterator) query
+// executor over temporal-probabilistic relations. It plays the role the
+// modified PostgreSQL executor plays in the paper: the NJ join operators
+// (internal/core) plug into it as ordinary pipelined operators, which is
+// the paper's integration claim — lineage-aware window computation needs
+// no tuple replication and no materialization barriers beyond those of a
+// conventional hash join.
+//
+// Operators follow the classic Open/Next/Close contract and report
+// per-operator statistics (rows produced) for EXPLAIN ANALYZE-style
+// output.
+package engine
+
+import (
+	"fmt"
+
+	"tpjoin/internal/prob"
+	"tpjoin/internal/tp"
+)
+
+// Operator is a pull-based executor node producing TP tuples.
+type Operator interface {
+	// Open prepares the operator (and its children) for execution.
+	Open() error
+	// Next returns the next tuple. ok is false at end of stream.
+	Next() (t tp.Tuple, ok bool, err error)
+	// Close releases resources. It is safe to call after exhaustion.
+	Close() error
+	// Attrs returns the output attribute names.
+	Attrs() []string
+	// Probs returns the probabilities of the base events that may appear
+	// in the lineages of produced tuples.
+	Probs() prob.Probs
+	// Stats returns the rows produced so far.
+	Stats() Stats
+}
+
+// Stats carries per-operator runtime counters.
+type Stats struct {
+	Rows int64
+}
+
+// base provides common bookkeeping for operators.
+type base struct {
+	attrs []string
+	stats Stats
+}
+
+func (b *base) Attrs() []string { return b.attrs }
+func (b *base) Stats() Stats    { return b.stats }
+
+// Run drains op into a relation named name, opening and closing it.
+func Run(op Operator, name string) (*tp.Relation, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	out := &tp.Relation{
+		Name:  name,
+		Attrs: append([]string(nil), op.Attrs()...),
+		Probs: op.Probs(),
+	}
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+}
+
+// --- Scan ---
+
+// Scan produces the tuples of a materialized relation.
+type Scan struct {
+	base
+	rel *tp.Relation
+	i   int
+}
+
+// NewScan returns a scan over rel.
+func NewScan(rel *tp.Relation) *Scan {
+	return &Scan{base: base{attrs: rel.Attrs}, rel: rel}
+}
+
+func (s *Scan) Open() error {
+	s.i = 0
+	s.stats = Stats{}
+	return nil
+}
+
+func (s *Scan) Next() (tp.Tuple, bool, error) {
+	if s.i >= len(s.rel.Tuples) {
+		return tp.Tuple{}, false, nil
+	}
+	t := s.rel.Tuples[s.i]
+	s.i++
+	s.stats.Rows++
+	return t, true, nil
+}
+
+func (s *Scan) Close() error { return nil }
+
+// Relation exposes the scanned relation (used by join operators that need
+// the base-event probabilities).
+func (s *Scan) Relation() *tp.Relation { return s.rel }
+
+// Probs implements Operator.
+func (s *Scan) Probs() prob.Probs { return s.rel.Probs }
+
+// --- Filter ---
+
+// Predicate decides whether an output tuple passes a filter.
+type Predicate func(tp.Tuple) bool
+
+// Filter passes through tuples satisfying the predicate.
+type Filter struct {
+	base
+	in   Operator
+	pred Predicate
+}
+
+// NewFilter wraps in with a predicate.
+func NewFilter(in Operator, pred Predicate) *Filter {
+	return &Filter{base: base{attrs: in.Attrs()}, in: in, pred: pred}
+}
+
+func (f *Filter) Open() error { f.stats = Stats{}; return f.in.Open() }
+
+func (f *Filter) Next() (tp.Tuple, bool, error) {
+	for {
+		t, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return tp.Tuple{}, false, err
+		}
+		if f.pred(t) {
+			f.stats.Rows++
+			return t, true, nil
+		}
+	}
+}
+
+func (f *Filter) Close() error { return f.in.Close() }
+
+// Probs implements Operator.
+func (f *Filter) Probs() prob.Probs { return f.in.Probs() }
+
+// --- Project ---
+
+// Project selects (and reorders) fact attributes by index.
+type Project struct {
+	base
+	in   Operator
+	cols []int
+}
+
+// NewProject returns a projection of in to the given column indexes, named
+// by names (which must have the same length as cols).
+func NewProject(in Operator, cols []int, names []string) (*Project, error) {
+	if len(cols) != len(names) {
+		return nil, fmt.Errorf("engine: project arity mismatch: %d cols, %d names", len(cols), len(names))
+	}
+	inAttrs := in.Attrs()
+	for _, c := range cols {
+		if c < 0 || c >= len(inAttrs) {
+			return nil, fmt.Errorf("engine: project column %d out of range (input has %d)", c, len(inAttrs))
+		}
+	}
+	return &Project{base: base{attrs: names}, in: in, cols: cols}, nil
+}
+
+func (p *Project) Open() error { p.stats = Stats{}; return p.in.Open() }
+
+func (p *Project) Next() (tp.Tuple, bool, error) {
+	t, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return tp.Tuple{}, false, err
+	}
+	f := make(tp.Fact, len(p.cols))
+	for i, c := range p.cols {
+		f[i] = t.Fact[c]
+	}
+	t.Fact = f
+	p.stats.Rows++
+	return t, true, nil
+}
+
+func (p *Project) Close() error { return p.in.Close() }
+
+// Probs implements Operator.
+func (p *Project) Probs() prob.Probs { return p.in.Probs() }
+
+// --- Limit ---
+
+// Limit passes through at most n tuples.
+type Limit struct {
+	base
+	in   Operator
+	n    int
+	seen int
+}
+
+// NewLimit caps in at n tuples.
+func NewLimit(in Operator, n int) *Limit {
+	return &Limit{base: base{attrs: in.Attrs()}, in: in, n: n}
+}
+
+func (l *Limit) Open() error { l.seen = 0; l.stats = Stats{}; return l.in.Open() }
+
+func (l *Limit) Next() (tp.Tuple, bool, error) {
+	if l.seen >= l.n {
+		return tp.Tuple{}, false, nil
+	}
+	t, ok, err := l.in.Next()
+	if err != nil || !ok {
+		return tp.Tuple{}, false, err
+	}
+	l.seen++
+	l.stats.Rows++
+	return t, true, nil
+}
+
+func (l *Limit) Close() error { return l.in.Close() }
+
+// Probs implements Operator.
+func (l *Limit) Probs() prob.Probs { return l.in.Probs() }
+
+// --- UnionAll ---
+
+// UnionAll concatenates the streams of its children (schemas must match in
+// arity; names are taken from the first child).
+type UnionAll struct {
+	base
+	ins []Operator
+	cur int
+}
+
+// NewUnionAll concatenates ins.
+func NewUnionAll(ins ...Operator) (*UnionAll, error) {
+	if len(ins) == 0 {
+		return nil, fmt.Errorf("engine: union of nothing")
+	}
+	arity := len(ins[0].Attrs())
+	for _, in := range ins[1:] {
+		if len(in.Attrs()) != arity {
+			return nil, fmt.Errorf("engine: union arity mismatch: %d vs %d", arity, len(in.Attrs()))
+		}
+	}
+	return &UnionAll{base: base{attrs: ins[0].Attrs()}, ins: ins}, nil
+}
+
+func (u *UnionAll) Open() error {
+	u.cur = 0
+	u.stats = Stats{}
+	for _, in := range u.ins {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (u *UnionAll) Next() (tp.Tuple, bool, error) {
+	for u.cur < len(u.ins) {
+		t, ok, err := u.ins[u.cur].Next()
+		if err != nil {
+			return tp.Tuple{}, false, err
+		}
+		if ok {
+			u.stats.Rows++
+			return t, true, nil
+		}
+		u.cur++
+	}
+	return tp.Tuple{}, false, nil
+}
+
+func (u *UnionAll) Close() error {
+	var first error
+	for _, in := range u.ins {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Probs implements Operator, merging the children's base events.
+func (u *UnionAll) Probs() prob.Probs {
+	out := make(prob.Probs)
+	for _, in := range u.ins {
+		for v, p := range in.Probs() {
+			out[v] = p
+		}
+	}
+	return out
+}

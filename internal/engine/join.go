@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"fmt"
+
+	"tpjoin/internal/align"
+	"tpjoin/internal/core"
+	"tpjoin/internal/prob"
+	"tpjoin/internal/tp"
+)
+
+// Strategy selects the physical implementation of a TP join.
+type Strategy uint8
+
+// The available join strategies.
+const (
+	// StrategyNJ is the paper's approach: pipelined lineage-aware window
+	// computation (OverlapJoin → LAWAU → LAWAN).
+	StrategyNJ Strategy = iota
+	// StrategyTA is the Temporal Alignment baseline: blocking, with tuple
+	// replication and a duplicate-eliminating union.
+	StrategyTA
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyNJ:
+		return "NJ"
+	case StrategyTA:
+		return "TA"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// TPJoin is the executor node for temporal-probabilistic joins with
+// negation. Under StrategyNJ the result streams tuple-by-tuple out of the
+// window pipeline; under StrategyTA the result is materialized at Open
+// (alignment is inherently blocking) and then scanned.
+type TPJoin struct {
+	base
+	op       tp.Op
+	left     Operator
+	right    Operator
+	theta    tp.Theta
+	strategy Strategy
+	taCfg    align.Config
+
+	stream core.TupleIterator // NJ
+	mat    *tp.Relation       // TA
+	mi     int
+	probs  prob.Probs
+}
+
+// NewTPJoin builds a TP join node over two children.
+func NewTPJoin(op tp.Op, left, right Operator, theta tp.Theta, strategy Strategy, taCfg align.Config) *TPJoin {
+	j := &TPJoin{
+		op: op, left: left, right: right, theta: theta,
+		strategy: strategy, taCfg: taCfg,
+	}
+	if op == tp.OpAnti {
+		j.attrs = append([]string(nil), left.Attrs()...)
+	} else {
+		j.attrs = append(append([]string(nil), left.Attrs()...), right.Attrs()...)
+	}
+	return j
+}
+
+func (j *TPJoin) Open() error {
+	j.stats = Stats{}
+	j.stream = nil
+	j.mat = nil
+	j.mi = 0
+	r, err := childRelation(j.left, "l")
+	if err != nil {
+		return err
+	}
+	s, err := childRelation(j.right, "r")
+	if err != nil {
+		return err
+	}
+	j.probs = tp.MergeProbs(r, s)
+	switch j.strategy {
+	case StrategyNJ:
+		j.stream, _ = core.JoinStream(j.op, r, s, j.theta)
+	case StrategyTA:
+		j.mat = align.Join(j.op, r, s, j.theta, j.taCfg)
+	default:
+		return fmt.Errorf("engine: unknown join strategy %v", j.strategy)
+	}
+	return nil
+}
+
+func (j *TPJoin) Next() (tp.Tuple, bool, error) {
+	switch j.strategy {
+	case StrategyNJ:
+		t, ok := j.stream.Next()
+		if !ok {
+			return tp.Tuple{}, false, nil
+		}
+		j.stats.Rows++
+		return t, true, nil
+	default:
+		if j.mi >= len(j.mat.Tuples) {
+			return tp.Tuple{}, false, nil
+		}
+		t := j.mat.Tuples[j.mi]
+		j.mi++
+		j.stats.Rows++
+		return t, true, nil
+	}
+}
+
+func (j *TPJoin) Close() error {
+	errL := j.left.Close()
+	errR := j.right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// Probs implements Operator.
+func (j *TPJoin) Probs() prob.Probs {
+	if j.probs != nil {
+		return j.probs
+	}
+	return tp.MergeProbs(
+		&tp.Relation{Probs: j.left.Probs()},
+		&tp.Relation{Probs: j.right.Probs()},
+	)
+}
+
+// childRelation obtains the child's tuples as a relation. A bare Scan
+// passes its relation through without copying (the common case, keeping
+// the NJ pipeline zero-copy); any other child is drained once.
+func childRelation(op Operator, tag string) (*tp.Relation, error) {
+	if sc, ok := op.(*Scan); ok {
+		return sc.Relation(), nil
+	}
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	out := &tp.Relation{
+		Name:  "tmp_" + tag,
+		Attrs: append([]string(nil), op.Attrs()...),
+		Probs: op.Probs(),
+	}
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+}

@@ -1,0 +1,131 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tpjoin/internal/interval"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.CollectOverlapping(interval.New(0, 10)); got != nil {
+		t.Errorf("empty tree returned %v", got)
+	}
+	// Empty intervals are dropped.
+	tr = Build([]Entry{{T: interval.Interval{}, ID: 1}})
+	if tr.Len() != 0 {
+		t.Errorf("empty interval must be dropped")
+	}
+}
+
+func TestBasicOverlap(t *testing.T) {
+	tr := Build([]Entry{
+		{T: interval.New(0, 5), ID: 0},
+		{T: interval.New(3, 8), ID: 1},
+		{T: interval.New(10, 12), ID: 2},
+	})
+	got := ids(tr.CollectOverlapping(interval.New(4, 6)))
+	want := []int{0, 1}
+	assertIDs(t, got, want)
+	got = ids(tr.CollectOverlapping(interval.New(8, 10)))
+	assertIDs(t, got, nil)
+	got = ids(tr.CollectOverlapping(interval.New(11, 20)))
+	assertIDs(t, got, []int{2})
+}
+
+func TestStab(t *testing.T) {
+	tr := Build([]Entry{
+		{T: interval.New(0, 5), ID: 0},
+		{T: interval.New(3, 8), ID: 1},
+	})
+	assertIDs(t, tr.Stab(4), []int{0, 1})
+	assertIDs(t, tr.Stab(0), []int{0})
+	assertIDs(t, tr.Stab(5), []int{1})
+	assertIDs(t, tr.Stab(8), nil)
+}
+
+func TestEarlyStop(t *testing.T) {
+	tr := Build([]Entry{
+		{T: interval.New(0, 10), ID: 0},
+		{T: interval.New(0, 10), ID: 1},
+		{T: interval.New(0, 10), ID: 2},
+	})
+	calls := 0
+	tr.Overlapping(interval.New(1, 2), func(Entry) bool {
+		calls++
+		return calls < 2
+	})
+	if calls != 2 {
+		t.Errorf("early stop failed: %d calls", calls)
+	}
+	// Query with empty interval: no calls.
+	tr.Overlapping(interval.Interval{}, func(Entry) bool { t.Fatal("called"); return false })
+}
+
+func TestAgainstNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 150; trial++ {
+		n := rng.Intn(60)
+		entries := make([]Entry, n)
+		for i := range entries {
+			s := interval.Time(rng.Intn(100))
+			entries[i] = Entry{T: interval.New(s, s+1+interval.Time(rng.Intn(20))), ID: i}
+		}
+		tr := Build(entries)
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		for q := 0; q < 20; q++ {
+			qs := interval.Time(rng.Intn(110)) - 5
+			qiv := interval.New(qs, qs+interval.Time(rng.Intn(15)))
+			var want []int
+			for _, e := range entries {
+				if e.T.Overlaps(qiv) {
+					want = append(want, e.ID)
+				}
+			}
+			got := ids(tr.CollectOverlapping(qiv))
+			assertIDs(t, got, want)
+		}
+	}
+}
+
+func TestDuplicateIntervals(t *testing.T) {
+	// Many identical intervals (common with chained revisions).
+	entries := make([]Entry, 50)
+	for i := range entries {
+		entries[i] = Entry{T: interval.New(5, 10), ID: i}
+	}
+	tr := Build(entries)
+	got := tr.CollectOverlapping(interval.New(7, 8))
+	if len(got) != 50 {
+		t.Errorf("got %d entries, want 50", len(got))
+	}
+}
+
+func ids(es []Entry) []int {
+	var out []int
+	for _, e := range es {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+func assertIDs(t *testing.T, got, want []int) {
+	t.Helper()
+	sort.Ints(got)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+}

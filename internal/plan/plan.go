@@ -1,0 +1,497 @@
+// Package plan turns parsed SQL statements (internal/sql) into executable
+// operator trees (internal/engine): name resolution against the catalog,
+// column binding, θ-condition construction, strategy selection (the NJ
+// approach vs. the TA baseline, a session setting like the paper's
+// PostgreSQL GUC), and EXPLAIN rendering.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"tpjoin/internal/align"
+	"tpjoin/internal/catalog"
+	"tpjoin/internal/engine"
+	"tpjoin/internal/sql"
+	"tpjoin/internal/tp"
+)
+
+// Session carries the per-connection settings that influence planning.
+type Session struct {
+	// Strategy selects the physical TP join implementation.
+	Strategy engine.Strategy
+	// TANestedLoop forces the nested-loop plan for the TA baseline
+	// (the plan PostgreSQL chose in the paper's evaluation).
+	TANestedLoop bool
+}
+
+// ApplySet updates the session from a SET statement. Supported settings:
+// strategy = nj|ta, ta_nested_loop = on|off.
+func (s *Session) ApplySet(st *sql.Set) error {
+	switch strings.ToLower(st.Name) {
+	case "strategy":
+		switch strings.ToLower(st.Value) {
+		case "nj":
+			s.Strategy = engine.StrategyNJ
+		case "ta":
+			s.Strategy = engine.StrategyTA
+		default:
+			return fmt.Errorf("plan: unknown strategy %q (want nj or ta)", st.Value)
+		}
+	case "ta_nested_loop":
+		switch strings.ToLower(st.Value) {
+		case "on", "true", "1":
+			s.TANestedLoop = true
+		case "off", "false", "0":
+			s.TANestedLoop = false
+		default:
+			return fmt.Errorf("plan: bad boolean %q", st.Value)
+		}
+	default:
+		return fmt.Errorf("plan: unknown setting %q", st.Name)
+	}
+	return nil
+}
+
+// binding maps column references to indexes of the combined output fact.
+type binding struct {
+	// tables in fact order: each with its binding name and attrs.
+	parts []boundTable
+}
+
+type boundTable struct {
+	name   string // alias or table name
+	attrs  []string
+	offset int
+}
+
+func (b *binding) arity() int {
+	n := 0
+	for _, p := range b.parts {
+		n += len(p.attrs)
+	}
+	return n
+}
+
+func (b *binding) attrs() []string {
+	var out []string
+	for _, p := range b.parts {
+		out = append(out, p.attrs...)
+	}
+	return out
+}
+
+// resolve finds the fact index of a column reference, enforcing SQL
+// ambiguity rules.
+func (b *binding) resolve(c sql.ColRef) (int, error) {
+	found := -1
+	for _, p := range b.parts {
+		if c.Table != "" && !strings.EqualFold(c.Table, p.name) {
+			continue
+		}
+		for i, a := range p.attrs {
+			if strings.EqualFold(a, c.Column) {
+				if found >= 0 {
+					return 0, fmt.Errorf("plan: ambiguous column %q", c)
+				}
+				found = p.offset + i
+			}
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("plan: unknown column %q", c)
+	}
+	return found, nil
+}
+
+// Build compiles a SELECT into an operator tree.
+func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operator, error) {
+	left, err := cat.Lookup(sel.From.Name)
+	if err != nil {
+		return nil, err
+	}
+	b := &binding{parts: []boundTable{{name: sel.From.Binding(), attrs: left.Attrs}}}
+	var op engine.Operator = engine.NewScan(left)
+
+	if sel.SetOp != nil {
+		right, err := cat.Lookup(sel.SetOp.Right.Name)
+		if err != nil {
+			return nil, err
+		}
+		if right.Arity() != left.Arity() {
+			return nil, fmt.Errorf("plan: %s and %s are not union-compatible (%d vs %d attributes)",
+				sel.From.Name, sel.SetOp.Right.Name, left.Arity(), right.Arity())
+		}
+		var kind engine.SetOpKind
+		switch sel.SetOp.Kind {
+		case sql.SetUnion:
+			kind = engine.SetUnion
+		case sql.SetIntersect:
+			kind = engine.SetIntersect
+		default:
+			kind = engine.SetExcept
+		}
+		op = engine.NewTPSetOp(kind, op, engine.NewScan(right))
+	}
+
+	if sel.Join != nil {
+		right, err := cat.Lookup(sel.Join.Right.Name)
+		if err != nil {
+			return nil, err
+		}
+		lb := &binding{parts: []boundTable{{name: sel.From.Binding(), attrs: left.Attrs}}}
+		rb := &binding{parts: []boundTable{{name: sel.Join.Right.Binding(), attrs: right.Attrs}}}
+		theta, err := buildTheta(sel.Join.On, lb, rb)
+		if err != nil {
+			return nil, err
+		}
+		cfg := align.Config{NestedLoop: sess.TANestedLoop}
+		op = engine.NewTPJoin(sel.Join.Op, op, engine.NewScan(right), theta, sess.Strategy, cfg)
+		if sel.Join.Op == tp.OpAnti {
+			// Output schema stays the left table's.
+		} else {
+			b.parts = append(b.parts, boundTable{
+				name:   sel.Join.Right.Binding(),
+				attrs:  right.Attrs,
+				offset: len(left.Attrs),
+			})
+		}
+	}
+
+	if len(sel.Where) > 0 {
+		pred, err := buildPredicate(sel.Where, b)
+		if err != nil {
+			return nil, err
+		}
+		op = engine.NewFilter(op, pred)
+	}
+
+	if !sel.Star {
+		cols := make([]int, len(sel.Projs))
+		names := make([]string, len(sel.Projs))
+		for i, c := range sel.Projs {
+			idx, err := b.resolve(c)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = idx
+			names[i] = c.Column
+		}
+		if sel.Distinct {
+			op, err = engine.NewLineageDistinct(op, cols, names)
+		} else {
+			op, err = engine.NewProject(op, cols, names)
+		}
+		if err != nil {
+			return nil, err
+		}
+	} else if sel.Distinct {
+		cols := make([]int, b.arity())
+		for i := range cols {
+			cols[i] = i
+		}
+		op, err = engine.NewLineageDistinct(op, cols, b.attrs())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if len(sel.OrderBy) > 0 {
+		// ORDER BY is resolved against the pre-projection binding when the
+		// projection keeps the referenced columns, else against the
+		// projected schema. For simplicity (and matching the dialect docs)
+		// it resolves against the *output* schema of the preceding stage.
+		less, err := buildOrder(sel.OrderBy, op.Attrs())
+		if err != nil {
+			return nil, err
+		}
+		op = engine.NewSort(op, less)
+	}
+
+	if sel.Limit >= 0 {
+		op = engine.NewLimit(op, sel.Limit)
+	}
+	return op, nil
+}
+
+// buildOrder compiles ORDER BY keys against the output attribute names,
+// supporting the Tstart/Tend/P pseudo-columns.
+func buildOrder(keys []sql.OrderKey, attrs []string) (engine.TupleLess, error) {
+	type cKey struct {
+		idx    int
+		pseudo int
+		desc   bool
+	}
+	cks := make([]cKey, len(keys))
+	for i, k := range keys {
+		ck := cKey{idx: -1, desc: k.Desc}
+		if k.Col.Table == "" {
+			ck.pseudo = pseudoColumn(k.Col)
+		}
+		if ck.pseudo == pseudoNone {
+			for j, a := range attrs {
+				if strings.EqualFold(a, k.Col.Column) {
+					if ck.idx >= 0 {
+						return nil, fmt.Errorf("plan: ambiguous ORDER BY column %q", k.Col)
+					}
+					ck.idx = j
+				}
+			}
+			if ck.idx < 0 {
+				return nil, fmt.Errorf("plan: unknown ORDER BY column %q", k.Col)
+			}
+		}
+		cks[i] = ck
+	}
+	return func(a, b tp.Tuple) bool {
+		for _, ck := range cks {
+			var c int
+			switch ck.pseudo {
+			case pseudoProb:
+				c = cmpFloat(a.Prob, b.Prob)
+			case pseudoTstart:
+				c = cmpFloat(float64(a.T.Start), float64(b.T.Start))
+			case pseudoTend:
+				c = cmpFloat(float64(a.T.End), float64(b.T.End))
+			default:
+				c = a.Fact[ck.idx].Compare(b.Fact[ck.idx])
+			}
+			if ck.desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}, nil
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// buildTheta converts ON equalities into an EquiTheta, resolving each side
+// against the proper table (either order is accepted per conjunct).
+func buildTheta(on []sql.OnEq, lb, rb *binding) (tp.Theta, error) {
+	eq := tp.EquiTheta{}
+	for _, c := range on {
+		li, lerr := lb.resolve(c.L)
+		ri, rerr := rb.resolve(c.R)
+		if lerr == nil && rerr == nil {
+			eq.RCols = append(eq.RCols, li)
+			eq.SCols = append(eq.SCols, ri)
+			continue
+		}
+		// Try the swapped orientation: right.col = left.col.
+		li2, lerr2 := lb.resolve(c.R)
+		ri2, rerr2 := rb.resolve(c.L)
+		if lerr2 == nil && rerr2 == nil {
+			eq.RCols = append(eq.RCols, li2)
+			eq.SCols = append(eq.SCols, ri2)
+			continue
+		}
+		if lerr != nil {
+			return nil, lerr
+		}
+		return nil, rerr
+	}
+	if len(eq.RCols) == 0 {
+		return nil, fmt.Errorf("plan: join needs at least one ON equality")
+	}
+	return eq, nil
+}
+
+// pseudo-columns available in WHERE besides the fact attributes: the
+// tuple probability and the interval endpoints.
+const (
+	pseudoNone = iota
+	pseudoProb
+	pseudoTstart
+	pseudoTend
+)
+
+func pseudoColumn(c sql.ColRef) int {
+	if c.Table != "" {
+		return pseudoNone
+	}
+	switch strings.ToLower(c.Column) {
+	case "p", "prob":
+		return pseudoProb
+	case "tstart":
+		return pseudoTstart
+	case "tend":
+		return pseudoTend
+	default:
+		return pseudoNone
+	}
+}
+
+func buildPredicate(conds []sql.Condition, b *binding) (engine.Predicate, error) {
+	type compiled struct {
+		idx    int
+		pseudo int
+		cond   sql.Condition
+		litVal tp.Value
+	}
+	cs := make([]compiled, len(conds))
+	for i, c := range conds {
+		idx, err := b.resolve(c.Col)
+		if err != nil {
+			// Fact attributes shadow pseudo-columns; only unresolvable
+			// names fall through to P / Tstart / Tend.
+			if ps := pseudoColumn(c.Col); ps != pseudoNone {
+				if c.IsNull {
+					return nil, fmt.Errorf("plan: %s cannot be NULL", c.Col)
+				}
+				if c.Lit.IsString {
+					return nil, fmt.Errorf("plan: %s compares to numbers, got %s", c.Col, c.Lit)
+				}
+				cs[i] = compiled{pseudo: ps, cond: c}
+				continue
+			}
+			return nil, err
+		}
+		cs[i] = compiled{idx: idx, cond: c, litVal: c.Lit.Value()}
+	}
+	cmpOK := func(op string, cmp int) bool {
+		switch op {
+		case "=":
+			return cmp == 0
+		case "<>":
+			return cmp != 0
+		case "<":
+			return cmp < 0
+		case "<=":
+			return cmp <= 0
+		case ">":
+			return cmp > 0
+		case ">=":
+			return cmp >= 0
+		default:
+			return false
+		}
+	}
+	return func(t tp.Tuple) bool {
+		for _, c := range cs {
+			if c.pseudo != pseudoNone {
+				var val float64
+				switch c.pseudo {
+				case pseudoProb:
+					val = t.Prob
+				case pseudoTstart:
+					val = float64(t.T.Start)
+				case pseudoTend:
+					val = float64(t.T.End)
+				}
+				cmp := 0
+				switch {
+				case val < c.cond.Lit.Num:
+					cmp = -1
+				case val > c.cond.Lit.Num:
+					cmp = 1
+				}
+				if !cmpOK(c.cond.Op, cmp) {
+					return false
+				}
+				continue
+			}
+			v := t.Fact[c.idx]
+			if c.cond.IsNull {
+				if v.IsNull() != !c.cond.Negate {
+					return false
+				}
+				continue
+			}
+			if v.IsNull() {
+				return false // SQL: NULL compares to nothing
+			}
+			if c.cond.Op == "=" && !v.Equal(c.litVal) {
+				return false
+			}
+			if c.cond.Op == "<>" && v.Equal(c.litVal) {
+				return false
+			}
+			if c.cond.Op != "=" && c.cond.Op != "<>" && !cmpOK(c.cond.Op, v.Compare(c.litVal)) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
+// Explain renders the operator tree of a SELECT, annotated with the join
+// strategy. With analyze, the query is executed and per-operator row
+// counts are included.
+func Explain(sel *sql.Select, cat *catalog.Catalog, sess *Session, analyze bool) (string, error) {
+	op, err := Build(sel, cat, sess)
+	if err != nil {
+		return "", err
+	}
+	if analyze {
+		if _, err := engine.Run(op, "explain"); err != nil {
+			return "", err
+		}
+	}
+	var b strings.Builder
+	render(&b, op, 0, analyze)
+	return b.String(), nil
+}
+
+func render(b *strings.Builder, op engine.Operator, depth int, analyze bool) {
+	indent := strings.Repeat("  ", depth)
+	var desc string
+	var kids []engine.Operator
+	switch o := op.(type) {
+	case *engine.Scan:
+		desc = fmt.Sprintf("Scan %s (%d tuples)", o.Relation().Name, o.Relation().Len())
+	case *engine.Filter:
+		desc = "Filter"
+		kids = []engine.Operator{childOf(o)}
+	case *engine.Project:
+		desc = fmt.Sprintf("Project (%s)", strings.Join(op.Attrs(), ", "))
+		kids = []engine.Operator{childOf(o)}
+	case *engine.Limit:
+		desc = "Limit"
+		kids = []engine.Operator{childOf(o)}
+	case *engine.TPJoin:
+		desc = fmt.Sprintf("TPJoin [%s] strategy=%s", joinName(o), o.Strategy())
+		kids = o.Children()
+	case *engine.TPSetOp:
+		desc = fmt.Sprintf("TPSetOp [%s]", o.Kind())
+		kids = o.Children()
+	case *engine.LineageDistinct:
+		desc = fmt.Sprintf("LineageDistinct (%s)", strings.Join(op.Attrs(), ", "))
+		kids = []engine.Operator{o.Child()}
+	default:
+		desc = fmt.Sprintf("%T", op)
+	}
+	if analyze {
+		desc += fmt.Sprintf("  rows=%d", op.Stats().Rows)
+	}
+	b.WriteString(indent)
+	b.WriteString(desc)
+	b.WriteByte('\n')
+	for _, k := range kids {
+		if k != nil {
+			render(b, k, depth+1, analyze)
+		}
+	}
+}
+
+func joinName(j *engine.TPJoin) string { return j.Op().String() }
+
+func childOf(op engine.Operator) engine.Operator {
+	type hasChild interface{ Child() engine.Operator }
+	if h, ok := op.(hasChild); ok {
+		return h.Child()
+	}
+	return nil
+}

@@ -1,0 +1,356 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"tpjoin/internal/catalog"
+	"tpjoin/internal/engine"
+	"tpjoin/internal/interval"
+	"tpjoin/internal/sql"
+	"tpjoin/internal/tp"
+)
+
+func demoCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	a := tp.NewRelation("a", "Name", "Loc")
+	a.Append(tp.Strings("Ann", "ZAK"), interval.New(2, 8), 0.7)
+	a.Append(tp.Strings("Jim", "WEN"), interval.New(7, 10), 0.8)
+	b := tp.NewRelation("b", "Hotel", "Loc")
+	b.Append(tp.Strings("hotel3", "SOR"), interval.New(1, 4), 0.9)
+	b.Append(tp.Strings("hotel2", "ZAK"), interval.New(5, 8), 0.6)
+	b.Append(tp.Strings("hotel1", "ZAK"), interval.New(4, 6), 0.7)
+	c := catalog.New()
+	if err := c.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustRun(t *testing.T, src string, sess *Session, cat *catalog.Catalog) *tp.Relation {
+	t.Helper()
+	st, err := sql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	op, err := Build(st.(*sql.Select), cat, sess)
+	if err != nil {
+		t.Fatalf("build %q: %v", src, err)
+	}
+	out, err := engine.Run(op, "q")
+	if err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return out
+}
+
+func TestPaperQueryViaSQL(t *testing.T) {
+	cat := demoCatalog(t)
+	sess := &Session{}
+	out := mustRun(t, "SELECT * FROM a TP LEFT OUTER JOIN b ON a.Loc = b.Loc", sess, cat)
+	if out.Len() != 7 {
+		t.Fatalf("Fig. 1b query returned %d tuples, want 7:\n%v", out.Len(), out)
+	}
+	// TA strategy must agree point-wise.
+	sess.Strategy = engine.StrategyTA
+	outTA := mustRun(t, "SELECT * FROM a TP LEFT OUTER JOIN b ON a.Loc = b.Loc", sess, cat)
+	pm1, err := tp.Expand(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm2, err := tp.Expand(outTA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm1.EqualProb(pm2, 1e-9); err != nil {
+		t.Errorf("NJ and TA via SQL disagree: %v", err)
+	}
+}
+
+func TestSwappedOnOrientation(t *testing.T) {
+	cat := demoCatalog(t)
+	out := mustRun(t, "SELECT * FROM a TP LEFT JOIN b ON b.Loc = a.Loc", &Session{}, cat)
+	if out.Len() != 7 {
+		t.Errorf("swapped ON orientation must work, got %d tuples", out.Len())
+	}
+}
+
+func TestWhereAndProjection(t *testing.T) {
+	cat := demoCatalog(t)
+	out := mustRun(t, "SELECT Name FROM a WHERE Loc = 'ZAK'", &Session{}, cat)
+	if out.Len() != 1 || out.Tuples[0].Fact.String() != "Ann" {
+		t.Errorf("filtered projection wrong: %v", out)
+	}
+	out = mustRun(t,
+		"SELECT Name, Hotel FROM a TP LEFT JOIN b ON a.Loc = b.Loc WHERE Hotel IS NULL", &Session{}, cat)
+	for _, tu := range out.Tuples {
+		if !tu.Fact[1].IsNull() {
+			t.Errorf("IS NULL filter leaked %v", tu.Fact)
+		}
+	}
+	if out.Len() != 5 {
+		t.Errorf("IS NULL rows = %d, want 5", out.Len())
+	}
+	out = mustRun(t,
+		"SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc LIMIT 2", &Session{}, cat)
+	if out.Len() != 2 || len(out.Attrs) != 2 {
+		t.Errorf("anti join via SQL wrong: %v", out)
+	}
+}
+
+func TestNumericComparisons(t *testing.T) {
+	cat := catalog.New()
+	r := tp.NewRelation("nums", "V")
+	r.Append(tp.Fact{tp.String_("5")}, interval.New(0, 1), 0.5)
+	if err := cat.Register(r); err != nil {
+		t.Fatal(err)
+	}
+	out := mustRun(t, "SELECT * FROM nums WHERE V >= '3'", &Session{}, cat)
+	if out.Len() != 1 {
+		t.Errorf("string comparison wrong")
+	}
+	out = mustRun(t, "SELECT * FROM nums WHERE V <> '5'", &Session{}, cat)
+	if out.Len() != 0 {
+		t.Errorf("<> wrong")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cat := demoCatalog(t)
+	sess := &Session{}
+	bad := []string{
+		"SELECT * FROM nope",
+		"SELECT * FROM a TP JOIN nope ON a.Loc = nope.Loc",
+		"SELECT Missing FROM a",
+		"SELECT * FROM a WHERE Missing = 1",
+		"SELECT * FROM a TP JOIN b ON a.Name = a.Loc",  // both sides left
+		"SELECT Loc FROM a TP JOIN b ON a.Loc = b.Loc", // ambiguous Loc
+	}
+	for _, src := range bad {
+		st, err := sql.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Build(st.(*sql.Select), cat, sess); err == nil {
+			t.Errorf("Build(%q) must fail", src)
+		}
+	}
+}
+
+func TestAliasResolution(t *testing.T) {
+	cat := demoCatalog(t)
+	out := mustRun(t,
+		"SELECT x.Name FROM a AS x TP LEFT JOIN b AS y ON x.Loc = y.Loc WHERE y.Hotel IS NOT NULL",
+		&Session{}, cat)
+	if out.Len() != 2 {
+		t.Errorf("alias query rows = %d, want 2 (the two pairings)", out.Len())
+	}
+}
+
+func TestApplySet(t *testing.T) {
+	var s Session
+	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "ta"}); err != nil || s.Strategy != engine.StrategyTA {
+		t.Errorf("SET strategy=ta failed: %v", err)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "nj"}); err != nil || s.Strategy != engine.StrategyNJ {
+		t.Errorf("SET strategy=nj failed: %v", err)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "ta_nested_loop", Value: "on"}); err != nil || !s.TANestedLoop {
+		t.Errorf("SET ta_nested_loop failed: %v", err)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "bogus"}); err == nil {
+		t.Errorf("bad strategy must error")
+	}
+	if err := s.ApplySet(&sql.Set{Name: "bogus", Value: "x"}); err == nil {
+		t.Errorf("unknown setting must error")
+	}
+	if err := s.ApplySet(&sql.Set{Name: "ta_nested_loop", Value: "maybe"}); err == nil {
+		t.Errorf("bad boolean must error")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	cat := demoCatalog(t)
+	st, err := sql.Parse("EXPLAIN SELECT Name FROM a TP LEFT JOIN b ON a.Loc = b.Loc WHERE Hotel IS NULL LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := st.(*sql.Explain)
+	out, err := Explain(ex.Query, cat, &Session{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Limit", "Project", "Filter", "TPJoin [left-outer] strategy=NJ", "Scan a", "Scan b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+	// ANALYZE includes row counts.
+	out, err = Explain(ex.Query, cat, &Session{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rows=") {
+		t.Errorf("EXPLAIN ANALYZE missing rows:\n%s", out)
+	}
+}
+
+func TestPseudoColumns(t *testing.T) {
+	cat := demoCatalog(t)
+	// Probability filter: Fig. 1b rows with p >= 0.4.
+	out := mustRun(t,
+		"SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc WHERE P >= 0.4", &Session{}, cat)
+	if out.Len() != 4 {
+		t.Errorf("P >= 0.4 rows = %d, want 4 (0.70, 0.49, 0.42, 0.80):\n%v", out.Len(), out)
+	}
+	for _, tu := range out.Tuples {
+		if tu.Prob < 0.4 {
+			t.Errorf("probability filter leaked %v", tu)
+		}
+	}
+	// Temporal filter on start point.
+	out = mustRun(t, "SELECT * FROM a WHERE Tstart >= 7", &Session{}, cat)
+	if out.Len() != 1 || out.Tuples[0].Fact[0].AsString() != "Jim" {
+		t.Errorf("Tstart filter wrong: %v", out)
+	}
+	out = mustRun(t, "SELECT * FROM b WHERE Tend <= 4", &Session{}, cat)
+	if out.Len() != 1 || out.Tuples[0].Fact[0].AsString() != "hotel3" {
+		t.Errorf("Tend filter wrong: %v", out)
+	}
+}
+
+func TestPseudoColumnErrors(t *testing.T) {
+	cat := demoCatalog(t)
+	for _, src := range []string{
+		"SELECT * FROM a WHERE P = 'high'", // string literal
+		"SELECT * FROM a WHERE P IS NULL",  // NULL check
+		"SELECT * FROM a WHERE a.P = 0.5",  // qualified: not a pseudo-col
+	} {
+		st, err := sql.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Build(st.(*sql.Select), cat, &Session{}); err == nil {
+			t.Errorf("Build(%q) must fail", src)
+		}
+	}
+}
+
+func TestFactColumnShadowsPseudo(t *testing.T) {
+	// A real attribute named P wins over the pseudo-column.
+	c := catalog.New()
+	r := tp.NewRelation("odd", "P")
+	r.Append(tp.Strings("boom"), interval.New(0, 1), 0.5)
+	if err := c.Register(r); err != nil {
+		t.Fatal(err)
+	}
+	out := mustRun(t, "SELECT * FROM odd WHERE P = 'boom'", &Session{}, c)
+	if out.Len() != 1 {
+		t.Errorf("fact attribute P must shadow the pseudo-column")
+	}
+}
+
+func TestSetOpsViaSQL(t *testing.T) {
+	cat := catalog.New()
+	r := tp.NewRelation("r", "K")
+	r.Append(tp.Strings("x"), interval.New(0, 6), 0.8)
+	s := tp.NewRelation("s", "K")
+	s.Append(tp.Strings("x"), interval.New(3, 9), 0.4)
+	if err := cat.Register(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	out := mustRun(t, "SELECT * FROM r TP UNION s", &Session{}, cat)
+	if out.Len() != 3 {
+		t.Errorf("union rows = %d, want 3 ([0,3) [3,6) [6,9)):\n%v", out.Len(), out)
+	}
+	out = mustRun(t, "SELECT * FROM r TP INTERSECT s", &Session{}, cat)
+	if out.Len() != 1 || !out.Tuples[0].T.Equal(interval.New(3, 6)) {
+		t.Errorf("intersect wrong:\n%v", out)
+	}
+	out = mustRun(t, "SELECT * FROM r TP EXCEPT s", &Session{}, cat)
+	if out.Len() != 2 {
+		t.Errorf("except rows = %d, want 2:\n%v", out.Len(), out)
+	}
+	// Incompatible arities must fail at build time.
+	two := tp.NewRelation("two", "A", "B")
+	if err := cat.Register(two); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sql.Parse("SELECT * FROM r TP UNION two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(st.(*sql.Select), cat, &Session{}); err == nil {
+		t.Errorf("union-incompatible relations must fail")
+	}
+}
+
+func TestDistinctViaSQL(t *testing.T) {
+	cat := demoCatalog(t)
+	// DISTINCT Loc over b: ZAK availability merges hotel1/hotel2 with OR
+	// lineage; at [5,6) the probability is 1-0.4·0.3 = 0.88.
+	out := mustRun(t, "SELECT DISTINCT Loc FROM b", &Session{}, cat)
+	found := false
+	for _, tu := range out.Tuples {
+		if tu.Fact.String() == "ZAK" && tu.T.Equal(interval.New(5, 6)) {
+			found = true
+			if tu.Prob < 0.8799 || tu.Prob > 0.8801 {
+				t.Errorf("merged ZAK prob = %g, want 0.88", tu.Prob)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("DISTINCT missing merged ZAK row:\n%v", out)
+	}
+	// DISTINCT * passes all columns through the lineage projection.
+	out = mustRun(t, "SELECT DISTINCT * FROM a", &Session{}, cat)
+	if out.Len() != 2 {
+		t.Errorf("DISTINCT * over a must keep 2 rows, got %d", out.Len())
+	}
+	// EXPLAIN shows the distinct node.
+	st, _ := sql.Parse("EXPLAIN SELECT DISTINCT Loc FROM b")
+	txt, err := Explain(st.(*sql.Explain).Query, cat, &Session{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt, "LineageDistinct (Loc)") {
+		t.Errorf("EXPLAIN missing LineageDistinct:\n%s", txt)
+	}
+}
+
+func TestOrderByViaSQL(t *testing.T) {
+	cat := demoCatalog(t)
+	out := mustRun(t, "SELECT * FROM b ORDER BY Hotel", &Session{}, cat)
+	hotels := []string{"hotel1", "hotel2", "hotel3"}
+	for i, tu := range out.Tuples {
+		if tu.Fact[0].AsString() != hotels[i] {
+			t.Fatalf("ORDER BY Hotel wrong at %d: %v", i, out)
+		}
+	}
+	out = mustRun(t, "SELECT * FROM b ORDER BY P DESC", &Session{}, cat)
+	if out.Tuples[0].Prob != 0.9 || out.Tuples[2].Prob != 0.6 {
+		t.Errorf("ORDER BY P DESC wrong: %v", out)
+	}
+	out = mustRun(t, "SELECT * FROM b ORDER BY Tstart", &Session{}, cat)
+	if !out.Tuples[0].T.Equal(interval.New(1, 4)) {
+		t.Errorf("ORDER BY Tstart wrong: %v", out)
+	}
+	// Composite key with LIMIT: top-2 most probable rows of the join.
+	out = mustRun(t,
+		"SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc ORDER BY P DESC, Name LIMIT 2",
+		&Session{}, cat)
+	if out.Len() != 2 || out.Tuples[0].Prob != 0.8 || out.Tuples[1].Prob != 0.7 {
+		t.Errorf("top-2 wrong: %v", out)
+	}
+	// Unknown column errors.
+	st, _ := sql.Parse("SELECT * FROM b ORDER BY Nope")
+	if _, err := Build(st.(*sql.Select), cat, &Session{}); err == nil {
+		t.Errorf("unknown ORDER BY column must fail")
+	}
+}

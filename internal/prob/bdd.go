@@ -1,0 +1,267 @@
+package prob
+
+import (
+	"fmt"
+
+	"tpjoin/internal/lineage"
+)
+
+// This file provides a second exact inference engine: reduced ordered
+// binary decision diagrams (OBDDs), the standard compilation target for
+// lineage probability in probabilistic databases. Compiling a lineage
+// once into a BDD makes repeated probability computations (e.g. under
+// changing base probabilities, for sensitivity analysis) linear in the
+// BDD size, and serves as an independent oracle for the Shannon-expansion
+// evaluator.
+
+// BDD is a reduced ordered binary decision diagram over lineage
+// variables. Node 0 is the ⊥ terminal, node 1 the ⊤ terminal.
+type BDD struct {
+	vars   []lineage.Var       // variable order: vars[i] has level i
+	level  map[lineage.Var]int // variable → level
+	nodes  []bddNode           // nodes[0] = ⊥, nodes[1] = ⊤
+	unique map[bddNode]int     // hash-consing of nodes
+	cache  map[applyKey]int    // memoized apply results
+	root   int
+}
+
+type bddNode struct {
+	level int // variable level; terminals use a sentinel
+	lo    int // node id when the variable is false
+	hi    int // node id when the variable is true
+}
+
+type applyKey struct {
+	op   byte // '&', '|', '!'
+	a, b int
+}
+
+const terminalLevel = int(^uint(0) >> 1) // max int: terminals sort last
+
+// CompileBDD builds the reduced OBDD of e, ordering variables by first
+// occurrence (a good default for the chain-shaped lineages TP joins
+// produce).
+func CompileBDD(e *lineage.Expr) *BDD {
+	b := &BDD{
+		level:  make(map[lineage.Var]int),
+		nodes:  []bddNode{{level: terminalLevel}, {level: terminalLevel}},
+		unique: make(map[bddNode]int),
+		cache:  make(map[applyKey]int),
+	}
+	b.collectOrder(e)
+	b.root = b.build(e)
+	return b
+}
+
+func (b *BDD) collectOrder(e *lineage.Expr) {
+	if e.Kind() == lineage.KindVar {
+		v := e.Variable()
+		if _, ok := b.level[v]; !ok {
+			b.level[v] = len(b.vars)
+			b.vars = append(b.vars, v)
+		}
+		return
+	}
+	for _, k := range e.Operands() {
+		b.collectOrder(k)
+	}
+}
+
+func (b *BDD) build(e *lineage.Expr) int {
+	switch e.Kind() {
+	case lineage.KindFalse:
+		return 0
+	case lineage.KindTrue:
+		return 1
+	case lineage.KindVar:
+		return b.mk(b.level[e.Variable()], 0, 1)
+	case lineage.KindNot:
+		return b.not(b.build(e.Operands()[0]))
+	case lineage.KindAnd:
+		acc := 1
+		for _, k := range e.Operands() {
+			acc = b.apply('&', acc, b.build(k))
+			if acc == 0 {
+				return 0
+			}
+		}
+		return acc
+	case lineage.KindOr:
+		acc := 0
+		for _, k := range e.Operands() {
+			acc = b.apply('|', acc, b.build(k))
+			if acc == 1 {
+				return 1
+			}
+		}
+		return acc
+	default:
+		panic("prob: invalid lineage expression")
+	}
+}
+
+// mk returns the node (level, lo, hi), applying the reduction rules
+// (redundant-test elimination and hash-consing).
+func (b *BDD) mk(level, lo, hi int) int {
+	if lo == hi {
+		return lo
+	}
+	n := bddNode{level: level, lo: lo, hi: hi}
+	if id, ok := b.unique[n]; ok {
+		return id
+	}
+	id := len(b.nodes)
+	b.nodes = append(b.nodes, n)
+	b.unique[n] = id
+	return id
+}
+
+func (b *BDD) not(a int) int {
+	switch a {
+	case 0:
+		return 1
+	case 1:
+		return 0
+	}
+	key := applyKey{op: '!', a: a}
+	if r, ok := b.cache[key]; ok {
+		return r
+	}
+	n := b.nodes[a]
+	r := b.mk(n.level, b.not(n.lo), b.not(n.hi))
+	b.cache[key] = r
+	return r
+}
+
+func (b *BDD) apply(op byte, x, y int) int {
+	// Terminal short-circuits.
+	switch op {
+	case '&':
+		if x == 0 || y == 0 {
+			return 0
+		}
+		if x == 1 {
+			return y
+		}
+		if y == 1 {
+			return x
+		}
+		if x == y {
+			return x
+		}
+	case '|':
+		if x == 1 || y == 1 {
+			return 1
+		}
+		if x == 0 {
+			return y
+		}
+		if y == 0 {
+			return x
+		}
+		if x == y {
+			return x
+		}
+	}
+	// Normalize operand order for the cache (both ops are commutative).
+	if x > y {
+		x, y = y, x
+	}
+	key := applyKey{op: op, a: x, b: y}
+	if r, ok := b.cache[key]; ok {
+		return r
+	}
+	nx, ny := b.nodes[x], b.nodes[y]
+	var level, xlo, xhi, ylo, yhi int
+	switch {
+	case nx.level < ny.level:
+		level, xlo, xhi, ylo, yhi = nx.level, nx.lo, nx.hi, y, y
+	case nx.level > ny.level:
+		level, xlo, xhi, ylo, yhi = ny.level, x, x, ny.lo, ny.hi
+	default:
+		level, xlo, xhi, ylo, yhi = nx.level, nx.lo, nx.hi, ny.lo, ny.hi
+	}
+	r := b.mk(level, b.apply(op, xlo, ylo), b.apply(op, xhi, yhi))
+	b.cache[key] = r
+	return r
+}
+
+// Size returns the number of nodes reachable from the root, including the
+// terminals. (Construction may allocate garbage nodes for intermediate
+// results; they do not affect evaluation and are not counted.)
+func (b *BDD) Size() int {
+	seen := make(map[int]bool)
+	var rec func(id int)
+	rec = func(id int) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if id > 1 {
+			rec(b.nodes[id].lo)
+			rec(b.nodes[id].hi)
+		}
+	}
+	rec(b.root)
+	if b.root > 1 {
+		// Terminals are always conceptually present.
+		seen[0] = true
+		seen[1] = true
+	}
+	return len(seen)
+}
+
+// Vars returns the variable order of the diagram.
+func (b *BDD) Vars() []lineage.Var { return b.vars }
+
+// Prob computes the exact probability of the compiled formula in time
+// linear in the BDD size. It panics on a variable missing from probs.
+func (b *BDD) Prob(probs Probs) float64 {
+	memo := make([]float64, len(b.nodes))
+	seen := make([]bool, len(b.nodes))
+	var rec func(id int) float64
+	rec = func(id int) float64 {
+		if id == 0 {
+			return 0
+		}
+		if id == 1 {
+			return 1
+		}
+		if seen[id] {
+			return memo[id]
+		}
+		n := b.nodes[id]
+		v := b.vars[n.level]
+		p, ok := probs[v]
+		if !ok {
+			panic(fmt.Sprintf("prob: no probability for base event %v", v))
+		}
+		r := p*rec(n.hi) + (1-p)*rec(n.lo)
+		seen[id] = true
+		memo[id] = r
+		return r
+	}
+	return rec(b.root)
+}
+
+// Eval evaluates the compiled formula under a truth assignment (absent
+// variables default to false).
+func (b *BDD) Eval(assign map[lineage.Var]bool) bool {
+	id := b.root
+	for id > 1 {
+		n := b.nodes[id]
+		if assign[b.vars[n.level]] {
+			id = n.hi
+		} else {
+			id = n.lo
+		}
+	}
+	return id == 1
+}
+
+// Tautology reports whether the compiled formula is ⊤ (the BDD is
+// canonical, so this is a root check).
+func (b *BDD) Tautology() bool { return b.root == 1 }
+
+// Unsatisfiable reports whether the compiled formula is ⊥.
+func (b *BDD) Unsatisfiable() bool { return b.root == 0 }

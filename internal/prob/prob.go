@@ -1,0 +1,304 @@
+// Package prob computes the probability of lineage formulas under the
+// tuple-independence assumption of probabilistic databases: every base
+// event (lineage variable) is an independent Bernoulli variable.
+//
+// Computing Pr(λ) is #P-hard in general. The evaluator uses the standard
+// exact strategy:
+//
+//  1. constants and literals are immediate;
+//  2. negation complements;
+//  3. conjunctions/disjunctions are partitioned into variable-disjoint
+//     groups (independent sub-formulas), whose probabilities compose by
+//     multiplication (AND) or inclusion-exclusion of complements (OR);
+//  4. otherwise Shannon expansion on the most frequent variable, with
+//     memoization of intermediate results.
+//
+// Every lineage produced by the TP join operators over base relations is
+// read-once (each base event occurs at most once), so step 3 always
+// applies and evaluation is linear in formula size — the paper's operators
+// never pay the exponential branch. Step 4 exists for completeness, e.g.
+// when joining derived relations, and is exercised by tests.
+package prob
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tpjoin/internal/lineage"
+)
+
+// Probs assigns a probability to every base event.
+type Probs map[lineage.Var]float64
+
+// Clone returns a copy of p.
+func (p Probs) Clone() Probs {
+	out := make(Probs, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Evaluator computes exact probabilities of lineage expressions, caching
+// intermediate results across calls. It is not safe for concurrent use.
+type Evaluator struct {
+	probs Probs
+	memo  map[uint64][]memoEntry
+	// stats
+	shannonSteps int
+}
+
+type memoEntry struct {
+	expr *lineage.Expr
+	p    float64
+}
+
+// NewEvaluator returns an evaluator over the given base-event
+// probabilities. Probabilities must lie in [0, 1]; Prob panics on a
+// variable absent from probs, which indicates an inconsistent database.
+func NewEvaluator(probs Probs) *Evaluator {
+	return &Evaluator{probs: probs, memo: make(map[uint64][]memoEntry)}
+}
+
+// ShannonSteps reports how many Shannon expansions the evaluator has
+// performed; zero for purely read-once workloads.
+func (ev *Evaluator) ShannonSteps() int { return ev.shannonSteps }
+
+// Prob returns the exact probability of e. A nil expression (the "null"
+// lineage of unmatched windows) has no probability; Prob panics on it.
+func (ev *Evaluator) Prob(e *lineage.Expr) float64 {
+	if e == nil {
+		panic("prob: Prob(nil lineage)")
+	}
+	return ev.eval(e)
+}
+
+func (ev *Evaluator) eval(e *lineage.Expr) float64 {
+	switch e.Kind() {
+	case lineage.KindFalse:
+		return 0
+	case lineage.KindTrue:
+		return 1
+	case lineage.KindVar:
+		v := e.Variable()
+		p, ok := ev.probs[v]
+		if !ok {
+			panic(fmt.Sprintf("prob: no probability for base event %v", v))
+		}
+		return p
+	case lineage.KindNot:
+		return 1 - ev.eval(e.Operands()[0])
+	}
+
+	if p, ok := ev.lookup(e); ok {
+		return p
+	}
+	p := ev.evalNary(e)
+	ev.store(e, p)
+	return p
+}
+
+func (ev *Evaluator) evalNary(e *lineage.Expr) float64 {
+	kids := e.Operands()
+	groups := independentGroups(kids)
+	isAnd := e.Kind() == lineage.KindAnd
+
+	if len(groups) == 1 && len(groups[0]) == len(kids) {
+		// No independence structure at this level: Shannon expansion.
+		return ev.shannon(e)
+	}
+
+	if isAnd {
+		p := 1.0
+		for _, g := range groups {
+			p *= ev.evalGroup(lineage.KindAnd, g)
+		}
+		return p
+	}
+	q := 1.0
+	for _, g := range groups {
+		q *= 1 - ev.evalGroup(lineage.KindOr, g)
+	}
+	return 1 - q
+}
+
+// evalGroup evaluates the conjunction/disjunction of a variable-connected
+// group of sub-formulas.
+func (ev *Evaluator) evalGroup(kind lineage.Kind, g []*lineage.Expr) float64 {
+	if len(g) == 1 {
+		return ev.eval(g[0])
+	}
+	var comb *lineage.Expr
+	if kind == lineage.KindAnd {
+		comb = lineage.And(g...)
+	} else {
+		comb = lineage.Or(g...)
+	}
+	if p, ok := ev.lookup(comb); ok {
+		return p
+	}
+	p := ev.shannon(comb)
+	ev.store(comb, p)
+	return p
+}
+
+// shannon expands e on its most frequently occurring variable:
+// Pr(e) = p(v)·Pr(e|v=⊤) + (1−p(v))·Pr(e|v=⊥).
+func (ev *Evaluator) shannon(e *lineage.Expr) float64 {
+	v, ok := mostFrequentVar(e)
+	if !ok {
+		// No variables at all: constant-only n-ary node cannot occur
+		// (the constructors fold constants), but stay total.
+		if e.Kind() == lineage.KindAnd {
+			return 1
+		}
+		return 0
+	}
+	ev.shannonSteps++
+	pv, okp := ev.probs[v]
+	if !okp {
+		panic(fmt.Sprintf("prob: no probability for base event %v", v))
+	}
+	hi := ev.eval(e.Restrict(v, true))
+	lo := ev.eval(e.Restrict(v, false))
+	return pv*hi + (1-pv)*lo
+}
+
+func (ev *Evaluator) lookup(e *lineage.Expr) (float64, bool) {
+	for _, ent := range ev.memo[e.Hash()] {
+		if ent.expr.Equal(e) {
+			return ent.p, true
+		}
+	}
+	return 0, false
+}
+
+func (ev *Evaluator) store(e *lineage.Expr, p float64) {
+	h := e.Hash()
+	ev.memo[h] = append(ev.memo[h], memoEntry{expr: e, p: p})
+}
+
+// independentGroups partitions kids into groups such that formulas in
+// different groups share no variables (and are therefore independent under
+// tuple independence). Singleton partitioning is returned in input order.
+func independentGroups(kids []*lineage.Expr) [][]*lineage.Expr {
+	n := len(kids)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	owner := make(map[lineage.Var]int)
+	for i, k := range kids {
+		for _, v := range k.Vars() {
+			if j, ok := owner[v]; ok {
+				union(i, j)
+			} else {
+				owner[v] = i
+			}
+		}
+	}
+	order := make([]int, 0, n)
+	buckets := make(map[int][]*lineage.Expr)
+	for i, k := range kids {
+		r := find(i)
+		if _, seen := buckets[r]; !seen {
+			order = append(order, r)
+		}
+		buckets[r] = append(buckets[r], k)
+	}
+	out := make([][]*lineage.Expr, 0, len(order))
+	for _, r := range order {
+		out = append(out, buckets[r])
+	}
+	return out
+}
+
+// mostFrequentVar returns the variable with the most occurrences in e,
+// breaking ties toward the smaller variable for determinism.
+func mostFrequentVar(e *lineage.Expr) (lineage.Var, bool) {
+	counts := make(map[lineage.Var]int)
+	countVars(e, counts)
+	var best lineage.Var
+	bestN := 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v.Less(best)) {
+			best, bestN = v, n
+		}
+	}
+	return best, bestN > 0
+}
+
+func countVars(e *lineage.Expr, counts map[lineage.Var]int) {
+	if e.Kind() == lineage.KindVar {
+		counts[e.Variable()]++
+		return
+	}
+	for _, k := range e.Operands() {
+		countVars(k, counts)
+	}
+}
+
+// Enumerate computes Pr(e) by summing over all 2^n assignments of e's
+// variables. Exponential; used as a test oracle only.
+func Enumerate(e *lineage.Expr, probs Probs) float64 {
+	vars := e.Vars()
+	if len(vars) > 24 {
+		panic("prob: Enumerate on too many variables")
+	}
+	assign := make(map[lineage.Var]bool, len(vars))
+	var rec func(i int, weight float64) float64
+	rec = func(i int, weight float64) float64 {
+		if weight == 0 {
+			return 0
+		}
+		if i == len(vars) {
+			if e.Eval(assign) {
+				return weight
+			}
+			return 0
+		}
+		v := vars[i]
+		p, ok := probs[v]
+		if !ok {
+			panic(fmt.Sprintf("prob: no probability for base event %v", v))
+		}
+		assign[v] = true
+		t := rec(i+1, weight*p)
+		assign[v] = false
+		f := rec(i+1, weight*(1-p))
+		return t + f
+	}
+	return rec(0, 1)
+}
+
+// MonteCarlo estimates Pr(e) from n independent samples drawn with the
+// given seed. The standard error is about sqrt(p(1-p)/n).
+func MonteCarlo(e *lineage.Expr, probs Probs, n int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vars := e.Vars()
+	assign := make(map[lineage.Var]bool, len(vars))
+	hits := 0
+	for i := 0; i < n; i++ {
+		for _, v := range vars {
+			assign[v] = rng.Float64() < probs[v]
+		}
+		if e.Eval(assign) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}

@@ -1,0 +1,190 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tpjoin/internal/lineage"
+)
+
+func v(rel string, id int) *lineage.Expr { return lineage.NewVar(rel, id) }
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s: got %g, want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestConstantsAndLiterals(t *testing.T) {
+	ev := NewEvaluator(Probs{{Rel: "a", ID: 1}: 0.7})
+	approx(t, ev.Prob(lineage.False()), 0, 0, "Pr(⊥)")
+	approx(t, ev.Prob(lineage.True()), 1, 0, "Pr(⊤)")
+	approx(t, ev.Prob(v("a", 1)), 0.7, 0, "Pr(a1)")
+	approx(t, ev.Prob(lineage.Not(v("a", 1))), 0.3, 1e-15, "Pr(¬a1)")
+}
+
+func TestPaperExampleProbabilities(t *testing.T) {
+	// Base probabilities from Fig. 1a.
+	probs := Probs{
+		{Rel: "a", ID: 1}: 0.7, {Rel: "a", ID: 2}: 0.8,
+		{Rel: "b", ID: 1}: 0.9, {Rel: "b", ID: 2}: 0.6, {Rel: "b", ID: 3}: 0.7,
+	}
+	ev := NewEvaluator(probs)
+	a1, a2 := v("a", 1), v("a", 2)
+	b2, b3 := v("b", 2), v("b", 3)
+
+	// The seven output probabilities of Fig. 1b.
+	approx(t, ev.Prob(a1), 0.70, 1e-12, "a1")
+	approx(t, ev.Prob(lineage.And(a1, b3)), 0.49, 1e-12, "a1∧b3")
+	approx(t, ev.Prob(lineage.And(a1, b2)), 0.42, 1e-12, "a1∧b2")
+	approx(t, ev.Prob(lineage.AndNot(a1, b3)), 0.21, 1e-12, "a1∧¬b3")
+	approx(t, ev.Prob(lineage.AndNot(a1, lineage.Or(b3, b2))), 0.084, 1e-12, "a1∧¬(b3∨b2)")
+	approx(t, ev.Prob(lineage.AndNot(a1, b2)), 0.28, 1e-12, "a1∧¬b2")
+	approx(t, ev.Prob(a2), 0.80, 1e-12, "a2")
+
+	if ev.ShannonSteps() != 0 {
+		t.Errorf("read-once formulas must not trigger Shannon expansion, got %d steps",
+			ev.ShannonSteps())
+	}
+}
+
+func TestIndependentDecomposition(t *testing.T) {
+	probs := Probs{
+		{Rel: "x", ID: 1}: 0.5, {Rel: "x", ID: 2}: 0.5,
+		{Rel: "y", ID: 1}: 0.25, {Rel: "y", ID: 2}: 0.75,
+	}
+	ev := NewEvaluator(probs)
+	e := lineage.And(
+		lineage.Or(v("x", 1), v("x", 2)),
+		lineage.Or(v("y", 1), v("y", 2)),
+	)
+	// (1-(0.5·0.5)) · (1-(0.75·0.25)) = 0.75 · 0.8125
+	approx(t, ev.Prob(e), 0.75*0.8125, 1e-12, "independent AND of ORs")
+	if ev.ShannonSteps() != 0 {
+		t.Errorf("variable-disjoint children must not trigger Shannon, got %d",
+			ev.ShannonSteps())
+	}
+}
+
+func TestSharedVariableNeedsShannon(t *testing.T) {
+	// (x ∧ y) ∨ (x ∧ z): not read-once in this form, needs expansion on x.
+	probs := Probs{
+		{Rel: "v", ID: 1}: 0.5, {Rel: "v", ID: 2}: 0.5, {Rel: "v", ID: 3}: 0.5,
+	}
+	x, y, z := v("v", 1), v("v", 2), v("v", 3)
+	e := lineage.Or(lineage.And(x, y), lineage.And(x, z))
+	ev := NewEvaluator(probs)
+	got := ev.Prob(e)
+	want := Enumerate(e, probs) // 0.5 * (1 - 0.25) = 0.375
+	approx(t, got, want, 1e-12, "shared-variable Or")
+	approx(t, got, 0.375, 1e-12, "shared-variable Or closed form")
+	if ev.ShannonSteps() == 0 {
+		t.Errorf("expected at least one Shannon step")
+	}
+}
+
+func TestXorStyleFormula(t *testing.T) {
+	// (x ∧ ¬y) ∨ (¬x ∧ y) with p(x)=0.3, p(y)=0.6 → 0.3·0.4 + 0.7·0.6 = 0.54
+	probs := Probs{{Rel: "v", ID: 1}: 0.3, {Rel: "v", ID: 2}: 0.6}
+	x, y := v("v", 1), v("v", 2)
+	e := lineage.Or(
+		lineage.And(x, lineage.Not(y)),
+		lineage.And(lineage.Not(x), y),
+	)
+	ev := NewEvaluator(probs)
+	approx(t, ev.Prob(e), 0.54, 1e-12, "xor")
+}
+
+func TestEvaluatorAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		e := randExpr(rng, 3)
+		probs := make(Probs)
+		for _, vr := range e.Vars() {
+			probs[vr] = rng.Float64()
+		}
+		ev := NewEvaluator(probs)
+		got := ev.Prob(e)
+		want := Enumerate(e, probs)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Prob(%v) = %g, enumeration = %g", trial, e, got, want)
+		}
+		if got < -1e-12 || got > 1+1e-12 {
+			t.Fatalf("trial %d: probability out of range: %g", trial, got)
+		}
+	}
+}
+
+func TestMemoizationAcrossCalls(t *testing.T) {
+	probs := Probs{{Rel: "v", ID: 1}: 0.5, {Rel: "v", ID: 2}: 0.5, {Rel: "v", ID: 3}: 0.5}
+	x, y, z := v("v", 1), v("v", 2), v("v", 3)
+	e := lineage.Or(lineage.And(x, y), lineage.And(x, z), lineage.And(y, z))
+	ev := NewEvaluator(probs)
+	p1 := ev.Prob(e)
+	steps := ev.ShannonSteps()
+	p2 := ev.Prob(e)
+	if p1 != p2 {
+		t.Errorf("memoized result differs: %g vs %g", p1, p2)
+	}
+	if ev.ShannonSteps() != steps {
+		t.Errorf("second call must hit the memo (steps %d → %d)", steps, ev.ShannonSteps())
+	}
+}
+
+func TestPanicsOnMissingProbability(t *testing.T) {
+	ev := NewEvaluator(Probs{})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on unknown base event")
+		}
+	}()
+	ev.Prob(v("a", 1))
+}
+
+func TestPanicsOnNil(t *testing.T) {
+	ev := NewEvaluator(Probs{})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on nil lineage")
+		}
+	}()
+	ev.Prob(nil)
+}
+
+func TestMonteCarloConverges(t *testing.T) {
+	probs := Probs{{Rel: "v", ID: 1}: 0.3, {Rel: "v", ID: 2}: 0.6}
+	x, y := v("v", 1), v("v", 2)
+	e := lineage.Or(x, y) // 1 - 0.7*0.4 = 0.72
+	got := MonteCarlo(e, probs, 200000, 1)
+	approx(t, got, 0.72, 0.01, "MonteCarlo")
+}
+
+func TestProbsClone(t *testing.T) {
+	p := Probs{{Rel: "a", ID: 1}: 0.5}
+	q := p.Clone()
+	q[lineage.Var{Rel: "a", ID: 1}] = 0.9
+	if p[lineage.Var{Rel: "a", ID: 1}] != 0.5 {
+		t.Errorf("Clone must not alias")
+	}
+}
+
+func TestEnumerateZeroVars(t *testing.T) {
+	approx(t, Enumerate(lineage.True(), Probs{}), 1, 0, "enumerate ⊤")
+	approx(t, Enumerate(lineage.False(), Probs{}), 0, 0, "enumerate ⊥")
+}
+
+func randExpr(rng *rand.Rand, depth int) *lineage.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return lineage.NewVar("v", 1+rng.Intn(5))
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return lineage.Not(randExpr(rng, depth-1))
+	case 1:
+		return lineage.And(randExpr(rng, depth-1), randExpr(rng, depth-1), randExpr(rng, depth-1))
+	default:
+		return lineage.Or(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	}
+}

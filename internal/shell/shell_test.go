@@ -1,0 +1,184 @@
+package shell
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, sh *Shell, line string) string {
+	t.Helper()
+	buf := sh.Out.(*bytes.Buffer)
+	buf.Reset()
+	if quit := sh.Execute(line); quit {
+		t.Fatalf("unexpected quit on %q", line)
+	}
+	return buf.String()
+}
+
+func newShell() *Shell { return New(&bytes.Buffer{}) }
+
+func TestPreloadedExample(t *testing.T) {
+	sh := newShell()
+	out := run(t, sh, `\d`)
+	if !strings.Contains(out, "a(Name, Loc) — 2 tuples") ||
+		!strings.Contains(out, "b(Hotel, Loc) — 3 tuples") {
+		t.Errorf("\\d output wrong:\n%s", out)
+	}
+}
+
+func TestSelectFig1b(t *testing.T) {
+	sh := newShell()
+	out := run(t, sh, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if !strings.Contains(out, "(7 rows)") {
+		t.Errorf("expected 7 rows:\n%s", out)
+	}
+	if !strings.Contains(out, "a1 ∧ ¬(b3 ∨ b2)") || !strings.Contains(out, "0.084") {
+		t.Errorf("missing the negated lineage row:\n%s", out)
+	}
+}
+
+func TestSetAndExplain(t *testing.T) {
+	sh := newShell()
+	if out := run(t, sh, "SET strategy = ta"); !strings.Contains(out, "ok") {
+		t.Errorf("SET failed: %s", out)
+	}
+	out := run(t, sh, "EXPLAIN SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc")
+	if !strings.Contains(out, "strategy=TA") {
+		t.Errorf("strategy must show in EXPLAIN:\n%s", out)
+	}
+	out = run(t, sh, "EXPLAIN ANALYZE SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc")
+	if !strings.Contains(out, "rows=") {
+		t.Errorf("ANALYZE must show rows:\n%s", out)
+	}
+}
+
+func TestErrorsAreReportedNotFatal(t *testing.T) {
+	sh := newShell()
+	for _, line := range []string{
+		"SELECT * FROM missing",
+		"SELEC nonsense",
+		"SET bogus = 1",
+		`\load too few`,
+		`\load x /nonexistent/file.csv`,
+		`\save missing /tmp/x.csv`,
+		`\gen bogus 100`,
+		`\gen webkit notanumber`,
+		`\nosuchcmd`,
+	} {
+		out := run(t, sh, line)
+		if !strings.Contains(out, "error") && !strings.Contains(out, "usage") &&
+			!strings.Contains(out, "unknown") {
+			t.Errorf("line %q should report an error, got: %s", line, out)
+		}
+	}
+}
+
+func TestQuit(t *testing.T) {
+	sh := newShell()
+	if !sh.Execute(`\q`) || !sh.Execute(`\quit`) {
+		t.Errorf("\\q must quit")
+	}
+	if sh.Execute("") || sh.Execute("   ") {
+		t.Errorf("blank lines must not quit")
+	}
+}
+
+func TestGenAndQuery(t *testing.T) {
+	sh := newShell()
+	out := run(t, sh, `\gen webkit 400`)
+	if !strings.Contains(out, "generated r") {
+		t.Fatalf("gen failed: %s", out)
+	}
+	out = run(t, sh, "SELECT * FROM r TP ANTI JOIN s ON r.Key = s.Key LIMIT 3")
+	if !strings.Contains(out, "(3 rows)") {
+		t.Errorf("query over generated data failed:\n%s", out)
+	}
+}
+
+func TestSaveLoadDrop(t *testing.T) {
+	sh := newShell()
+	path := filepath.Join(t.TempDir(), "a.csv")
+	out := run(t, sh, `\save a `+path)
+	if !strings.Contains(out, "saved a") {
+		t.Fatalf("save failed: %s", out)
+	}
+	out = run(t, sh, `\load acopy `+path)
+	if !strings.Contains(out, "loaded acopy: 2 tuples") {
+		t.Fatalf("load failed: %s", out)
+	}
+	out = run(t, sh, "SELECT * FROM acopy")
+	if !strings.Contains(out, "(2 rows)") {
+		t.Errorf("loaded relation not queryable:\n%s", out)
+	}
+	out = run(t, sh, `\drop acopy`)
+	if !strings.Contains(out, "dropped acopy") {
+		t.Errorf("drop failed: %s", out)
+	}
+	out = run(t, sh, `\drop acopy`)
+	if !strings.Contains(out, "error") {
+		t.Errorf("double drop must error: %s", out)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	sh := newShell()
+	out := run(t, sh, `\help`)
+	for _, want := range []string{"TP", "ANTI", "strategy", `\gen`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("help missing %q", want)
+		}
+	}
+}
+
+func TestProbabilityFilterEndToEnd(t *testing.T) {
+	sh := newShell()
+	out := run(t, sh, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc WHERE P >= 0.4")
+	if !strings.Contains(out, "(4 rows)") {
+		t.Errorf("probability filter via shell wrong:\n%s", out)
+	}
+}
+
+func TestBinarySaveLoad(t *testing.T) {
+	sh := newShell()
+	// Materialize a derived relation, persist it in the binary format and
+	// reload it — the workflow CSV cannot support (lineage loss).
+	out := run(t, sh, "CREATE TABLE q AS SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if !strings.Contains(out, "created q: 7 tuples") {
+		t.Fatalf("CREATE TABLE AS failed: %s", out)
+	}
+	path := filepath.Join(t.TempDir(), "b.tpr")
+	out = run(t, sh, `\saveb q `+path)
+	if !strings.Contains(out, "saved q") {
+		t.Fatalf("saveb failed: %s", out)
+	}
+	out = run(t, sh, `\loadb qcopy `+path)
+	if !strings.Contains(out, "loaded qcopy: 7 tuples") {
+		t.Fatalf("loadb failed: %s", out)
+	}
+	out = run(t, sh, "SELECT * FROM qcopy ORDER BY P DESC LIMIT 1")
+	if !strings.Contains(out, "Jim") {
+		t.Errorf("reloaded binary relation not queryable:\n%s", out)
+	}
+	// The reloaded derived relation keeps its composite lineages.
+	out = run(t, sh, "SELECT * FROM qcopy WHERE Hotel IS NULL AND Tstart >= 5 LIMIT 1")
+	if !strings.Contains(out, "¬") {
+		t.Errorf("lineage lost in binary round trip:\n%s", out)
+	}
+	// Usage errors.
+	if out := run(t, sh, `\saveb onlyone`); !strings.Contains(out, "usage") {
+		t.Errorf("saveb usage: %s", out)
+	}
+	if out := run(t, sh, `\loadb x /nonexistent.tpr`); !strings.Contains(out, "error") {
+		t.Errorf("loadb missing file: %s", out)
+	}
+}
+
+func TestOrderByInShell(t *testing.T) {
+	sh := newShell()
+	out := run(t, sh, "SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc ORDER BY P DESC LIMIT 1")
+	if !strings.Contains(out, "Jim") {
+		t.Errorf("most probable anti-join row must be Jim (0.8):\n%s", out)
+	}
+}

@@ -1,0 +1,165 @@
+// Package sql implements the small SQL dialect of the tpquery tool: SELECT
+// queries over temporal-probabilistic relations with the TP join operators
+// of the paper (TP JOIN, TP LEFT/RIGHT/FULL [OUTER] JOIN, TP ANTI JOIN),
+// plus EXPLAIN and SET. The dialect corresponds to the surface syntax the
+// paper added to PostgreSQL's parser.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// The token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokString
+	TokNumber
+	TokSymbol
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokString:
+		return "string"
+	case TokNumber:
+		return "number"
+	case TokSymbol:
+		return "symbol"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; strings are unquoted
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "ON": true,
+	"JOIN": true, "LEFT": true, "RIGHT": true, "FULL": true, "OUTER": true,
+	"ANTI": true, "INNER": true, "TP": true, "EXPLAIN": true, "LIMIT": true,
+	"IS": true, "NULL": true, "NOT": true, "AS": true, "SET": true,
+	"ANALYZE": true, "UNION": true, "INTERSECT": true, "EXCEPT": true,
+	"DISTINCT": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
+	"CREATE": true, "TABLE": true,
+}
+
+// symbols that may be one or two characters.
+var twoCharSymbols = map[string]bool{"<>": true, "<=": true, ">=": true, "!=": true}
+
+// Lexer tokenizes a statement.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error for unrecognized input.
+func (l *Lexer) Next() (Token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		up := strings.ToUpper(text)
+		if keywords[up] {
+			return Token{Kind: TokKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sql: unterminated string starting at %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				// '' escapes a quote inside a string.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+
+	default:
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			if twoCharSymbols[two] {
+				l.pos += 2
+				return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
+			}
+		}
+		switch c {
+		case '(', ')', ',', '.', '*', '=', '<', '>', ';':
+			l.pos++
+			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
+	}
+}
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

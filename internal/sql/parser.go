@@ -1,0 +1,367 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"tpjoin/internal/tp"
+)
+
+// Parser is a recursive-descent parser for the dialect. One parser parses
+// one statement.
+type Parser struct {
+	toks []Token
+	i    int
+}
+
+// Parse parses a single statement (an optional trailing ';' is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("unexpected %s %q after statement", p.cur().Kind, p.cur().Text)
+	}
+	return st, nil
+}
+
+func (p *Parser) statement() (Statement, error) {
+	switch {
+	case p.accept(TokKeyword, "EXPLAIN"):
+		analyze := p.accept(TokKeyword, "ANALYZE")
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Query: sel, Analyze: analyze}, nil
+	case p.accept(TokKeyword, "SET"):
+		return p.setStmt()
+	case p.accept(TokKeyword, "CREATE"):
+		if !p.accept(TokKeyword, "TABLE") {
+			return nil, p.errf("expected TABLE after CREATE, got %q", p.cur().Text)
+		}
+		name, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(TokKeyword, "AS") {
+			return nil, p.errf("expected AS after table name, got %q", p.cur().Text)
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateTableAs{Name: name, Query: sel}, nil
+	case p.at(TokKeyword, "SELECT"):
+		return p.selectStmt()
+	default:
+		return nil, p.errf("expected SELECT, EXPLAIN, SET or CREATE TABLE, got %q", p.cur().Text)
+	}
+}
+
+func (p *Parser) setStmt() (Statement, error) {
+	name, err := p.ident("setting name")
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokSymbol, "=") {
+		return nil, p.errf("expected '=' in SET, got %q", p.cur().Text)
+	}
+	switch {
+	case p.at(TokString, ""):
+		v := p.cur().Text
+		p.i++
+		return &Set{Name: name, Value: v}, nil
+	case p.at(TokIdent, "") || p.at(TokNumber, "") || p.at(TokKeyword, ""):
+		v := p.cur().Text
+		p.i++
+		return &Set{Name: name, Value: v}, nil
+	default:
+		return nil, p.errf("expected value in SET, got %q", p.cur().Text)
+	}
+}
+
+func (p *Parser) selectStmt() (*Select, error) {
+	if !p.accept(TokKeyword, "SELECT") {
+		return nil, p.errf("expected SELECT, got %q", p.cur().Text)
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.accept(TokKeyword, "DISTINCT")
+
+	if p.accept(TokSymbol, "*") {
+		sel.Star = true
+	} else {
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.Projs = append(sel.Projs, c)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if !p.accept(TokKeyword, "FROM") {
+		return nil, p.errf("expected FROM, got %q", p.cur().Text)
+	}
+	from, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+
+	join, setop, err := p.joinOrSetOp()
+	if err != nil {
+		return nil, err
+	}
+	sel.Join = join
+	sel.SetOp = setop
+
+	if p.accept(TokKeyword, "WHERE") {
+		for {
+			c, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, c)
+			if !p.accept(TokKeyword, "AND") {
+				break
+			}
+		}
+	}
+
+	if p.accept(TokKeyword, "ORDER") {
+		if !p.accept(TokKeyword, "BY") {
+			return nil, p.errf("expected BY after ORDER, got %q", p.cur().Text)
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: c}
+			if p.accept(TokKeyword, "DESC") {
+				key.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(TokKeyword, "LIMIT") {
+		if !p.at(TokNumber, "") {
+			return nil, p.errf("expected number after LIMIT, got %q", p.cur().Text)
+		}
+		n, err := strconv.Atoi(p.cur().Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", p.cur().Text)
+		}
+		p.i++
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+// joinOrSetOp parses an optional TP join or TP set operation. The TP
+// keyword is mandatory for the temporal-probabilistic semantics; plain
+// JOIN/UNION is rejected with a hint, since this engine has no
+// non-temporal variants.
+func (p *Parser) joinOrSetOp() (*JoinClause, *SetOpClause, error) {
+	plain := p.at(TokKeyword, "JOIN") || p.at(TokKeyword, "LEFT") ||
+		p.at(TokKeyword, "RIGHT") || p.at(TokKeyword, "FULL") || p.at(TokKeyword, "INNER") ||
+		p.at(TokKeyword, "UNION") || p.at(TokKeyword, "INTERSECT") || p.at(TokKeyword, "EXCEPT")
+	if plain {
+		return nil, nil, p.errf("operations must be temporal-probabilistic: write TP %s ...", p.cur().Text)
+	}
+	if !p.accept(TokKeyword, "TP") {
+		return nil, nil, nil
+	}
+	// Set operation?
+	for _, k := range []struct {
+		kw   string
+		kind SetOpKind
+	}{{"UNION", SetUnion}, {"INTERSECT", SetIntersect}, {"EXCEPT", SetExcept}} {
+		if p.accept(TokKeyword, k.kw) {
+			right, err := p.tableRef()
+			if err != nil {
+				return nil, nil, err
+			}
+			return nil, &SetOpClause{Kind: k.kind, Right: right}, nil
+		}
+	}
+	join, err := p.joinClause()
+	return join, nil, err
+}
+
+// joinClause parses the join kind, table and ON condition after TP.
+func (p *Parser) joinClause() (*JoinClause, error) {
+	op := tp.OpInner
+	switch {
+	case p.accept(TokKeyword, "LEFT"):
+		op = tp.OpLeft
+		p.accept(TokKeyword, "OUTER")
+	case p.accept(TokKeyword, "RIGHT"):
+		op = tp.OpRight
+		p.accept(TokKeyword, "OUTER")
+	case p.accept(TokKeyword, "FULL"):
+		op = tp.OpFull
+		p.accept(TokKeyword, "OUTER")
+	case p.accept(TokKeyword, "ANTI"):
+		op = tp.OpAnti
+	case p.accept(TokKeyword, "INNER"):
+		op = tp.OpInner
+	}
+	if !p.accept(TokKeyword, "JOIN") {
+		return nil, p.errf("expected JOIN after TP, got %q", p.cur().Text)
+	}
+	right, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept(TokKeyword, "ON") {
+		return nil, p.errf("expected ON after join table, got %q", p.cur().Text)
+	}
+	var on []OnEq
+	for {
+		l, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(TokSymbol, "=") {
+			return nil, p.errf("join conditions must be equalities; got %q", p.cur().Text)
+		}
+		r, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		on = append(on, OnEq{L: l, R: r})
+		if !p.accept(TokKeyword, "AND") {
+			break
+		}
+	}
+	return &JoinClause{Op: op, Right: right, On: on}, nil
+}
+
+func (p *Parser) condition() (Condition, error) {
+	col, err := p.colRef()
+	if err != nil {
+		return Condition{}, err
+	}
+	if p.accept(TokKeyword, "IS") {
+		neg := p.accept(TokKeyword, "NOT")
+		if !p.accept(TokKeyword, "NULL") {
+			return Condition{}, p.errf("expected NULL after IS, got %q", p.cur().Text)
+		}
+		return Condition{Col: col, IsNull: true, Negate: neg}, nil
+	}
+	if !p.at(TokSymbol, "") {
+		return Condition{}, p.errf("expected comparison operator, got %q", p.cur().Text)
+	}
+	op := p.cur().Text
+	switch op {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+	default:
+		return Condition{}, p.errf("unsupported operator %q", op)
+	}
+	if op == "!=" {
+		op = "<>"
+	}
+	p.i++
+	lit, err := p.literal()
+	if err != nil {
+		return Condition{}, err
+	}
+	return Condition{Col: col, Op: op, Lit: lit}, nil
+}
+
+func (p *Parser) literal() (Literal, error) {
+	switch {
+	case p.at(TokString, ""):
+		s := p.cur().Text
+		p.i++
+		return Literal{IsString: true, Str: s}, nil
+	case p.at(TokNumber, ""):
+		f, err := strconv.ParseFloat(p.cur().Text, 64)
+		if err != nil {
+			return Literal{}, p.errf("invalid number %q", p.cur().Text)
+		}
+		p.i++
+		return Literal{Num: f}, nil
+	default:
+		return Literal{}, p.errf("expected literal, got %q", p.cur().Text)
+	}
+}
+
+func (p *Parser) tableRef() (TableRef, error) {
+	name, err := p.ident("table name")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.accept(TokKeyword, "AS") {
+		ref.Alias, err = p.ident("alias")
+		if err != nil {
+			return TableRef{}, err
+		}
+	} else if p.at(TokIdent, "") {
+		ref.Alias = p.cur().Text
+		p.i++
+	}
+	return ref, nil
+}
+
+func (p *Parser) colRef() (ColRef, error) {
+	first, err := p.ident("column name")
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.accept(TokSymbol, ".") {
+		col, err := p.ident("column name")
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Column: col}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *Parser) ident(what string) (string, error) {
+	if !p.at(TokIdent, "") {
+		return "", p.errf("expected %s, got %q", what, p.cur().Text)
+	}
+	s := p.cur().Text
+	p.i++
+	return s, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.i] }
+
+func (p *Parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: position %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,169 @@
+package tp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tpjoin/internal/interval"
+	"tpjoin/internal/lineage"
+	"tpjoin/internal/prob"
+)
+
+// Tuple is a temporal-probabilistic tuple (F, λ, T, p): a fact F valid over
+// the half-open interval T, true with probability p = Pr(λ), where λ is a
+// lineage formula over independent base events.
+type Tuple struct {
+	Fact    Fact
+	Lineage *lineage.Expr
+	T       interval.Interval
+	Prob    float64
+}
+
+// String renders the tuple in the layout of the paper's figures:
+// ('Ann, ZAK', a1, [2,8), 0.7).
+func (t Tuple) String() string {
+	return fmt.Sprintf("('%s', %s, %s, %.6g)", t.Fact, t.Lineage, t.T, t.Prob)
+}
+
+// Relation is a TP relation: a named list of TP tuples over a fixed set of
+// non-temporal attributes, together with the probabilities of the base
+// events that its lineages mention.
+type Relation struct {
+	Name   string
+	Attrs  []string
+	Tuples []Tuple
+	// Probs maps every base event appearing in the lineages of Tuples to
+	// its probability. For a base relation these are exactly the tuple
+	// probabilities; derived relations inherit the union of their inputs'.
+	Probs prob.Probs
+}
+
+// NewRelation returns an empty relation with the given name and attribute
+// names. The name doubles as the lineage-variable prefix for base tuples.
+func NewRelation(name string, attrs ...string) *Relation {
+	return &Relation{Name: name, Attrs: attrs, Probs: make(prob.Probs)}
+}
+
+// Append adds a base tuple with the next base-event variable (name,
+// len(Tuples)+1), registering its probability. It returns the assigned
+// variable for convenience.
+func (r *Relation) Append(f Fact, t interval.Interval, p float64) lineage.Var {
+	if len(f) != len(r.Attrs) {
+		panic(fmt.Sprintf("tp: fact arity %d does not match schema %v", len(f), r.Attrs))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("tp: probability %g out of [0,1]", p))
+	}
+	if t.Empty() {
+		panic("tp: tuple with empty interval")
+	}
+	v := lineage.Var{Rel: r.Name, ID: len(r.Tuples) + 1}
+	r.Tuples = append(r.Tuples, Tuple{Fact: f, Lineage: lineage.VarExpr(v), T: t, Prob: p})
+	r.Probs[v] = p
+	return v
+}
+
+// AppendDerived adds a tuple with an explicit lineage; the caller must make
+// sure the base events of the lineage are registered in Probs.
+func (r *Relation) AppendDerived(f Fact, e *lineage.Expr, t interval.Interval, p float64) {
+	r.Tuples = append(r.Tuples, Tuple{Fact: f, Lineage: e, T: t, Prob: p})
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Arity returns the number of non-temporal attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// Clone returns a deep copy of the relation (tuples share immutable facts
+// and lineages).
+func (r *Relation) Clone() *Relation {
+	out := &Relation{
+		Name:   r.Name,
+		Attrs:  append([]string(nil), r.Attrs...),
+		Tuples: append([]Tuple(nil), r.Tuples...),
+		Probs:  r.Probs.Clone(),
+	}
+	return out
+}
+
+// SortByFactStart sorts tuples by (fact, interval) — the canonical order
+// for grouping operators.
+func (r *Relation) SortByFactStart() {
+	sort.SliceStable(r.Tuples, func(i, j int) bool {
+		ti, tj := r.Tuples[i], r.Tuples[j]
+		if c := ti.Fact.Compare(tj.Fact); c != 0 {
+			return c < 0
+		}
+		return ti.T.Less(tj.T)
+	})
+}
+
+// SortByStart sorts tuples by interval (Start, End).
+func (r *Relation) SortByStart() {
+	sort.SliceStable(r.Tuples, func(i, j int) bool {
+		return r.Tuples[i].T.Less(r.Tuples[j].T)
+	})
+}
+
+// ValidateSequenced checks the sequenced-TP integrity constraint: within
+// the relation, tuples with the same fact must have pairwise disjoint
+// intervals, so that every fact has at most one probability at each time
+// point. It returns a descriptive error for the first violation.
+func (r *Relation) ValidateSequenced() error {
+	byFact := make(map[string][]interval.Interval)
+	for i, t := range r.Tuples {
+		if t.T.Empty() {
+			return fmt.Errorf("tp: %s tuple %d has empty interval", r.Name, i)
+		}
+		if t.Lineage == nil {
+			return fmt.Errorf("tp: %s tuple %d has null lineage", r.Name, i)
+		}
+		k := t.Fact.Key()
+		for _, iv := range byFact[k] {
+			if iv.Overlaps(t.T) {
+				return fmt.Errorf("tp: %s fact '%s' has overlapping intervals %v and %v",
+					r.Name, t.Fact, iv, t.T)
+			}
+		}
+		byFact[k] = append(byFact[k], t.T)
+	}
+	return nil
+}
+
+// ComputeProbs fills in Prob = Pr(λ) for every tuple, using the base-event
+// probabilities of the relation. It returns the relation for chaining.
+func (r *Relation) ComputeProbs() *Relation {
+	ev := prob.NewEvaluator(r.Probs)
+	for i := range r.Tuples {
+		r.Tuples[i].Prob = ev.Prob(r.Tuples[i].Lineage)
+	}
+	return r
+}
+
+// String renders the relation as a small table, for examples and debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s)\n", r.Name, strings.Join(r.Attrs, ", "))
+	for _, t := range r.Tuples {
+		fmt.Fprintf(&b, "  %s\n", t)
+	}
+	return b.String()
+}
+
+// MergeProbs returns the union of the base-event probability maps of rs.
+// It panics when the same base event is registered with two different
+// probabilities, which indicates relations from inconsistent databases.
+func MergeProbs(rs ...*Relation) prob.Probs {
+	out := make(prob.Probs)
+	for _, r := range rs {
+		for v, p := range r.Probs {
+			if q, ok := out[v]; ok && q != p {
+				panic(fmt.Sprintf("tp: base event %v has conflicting probabilities %g and %g", v, q, p))
+			}
+			out[v] = p
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package tp
+
+import "strings"
+
+// Theta is a join condition θ over the non-temporal attributes of two
+// relations: Match reports whether the pair (r, s) of facts satisfies θ.
+type Theta interface {
+	Match(r, s Fact) bool
+}
+
+// EquiTheta is a conjunction of column equalities r[RCols[i]] = s[SCols[i]].
+// It is the common case (the paper's experiments use a.Loc = b.Loc) and
+// supports hash partitioning: facts with different keys can never match.
+// SQL semantics apply: a NULL never matches anything.
+type EquiTheta struct {
+	RCols []int
+	SCols []int
+}
+
+// Equi returns the single-column equality condition r[rCol] = s[sCol].
+func Equi(rCol, sCol int) EquiTheta {
+	return EquiTheta{RCols: []int{rCol}, SCols: []int{sCol}}
+}
+
+// Match implements Theta.
+func (e EquiTheta) Match(r, s Fact) bool {
+	for i := range e.RCols {
+		rv, sv := r[e.RCols[i]], s[e.SCols[i]]
+		if rv.IsNull() || sv.IsNull() {
+			return false
+		}
+		if !rv.Equal(sv) {
+			return false
+		}
+	}
+	return true
+}
+
+// RKey returns the partition key of an r fact; facts whose key differs from
+// an s fact's SKey can never satisfy θ. The bool is false when the key
+// involves a NULL (such facts match nothing).
+func (e EquiTheta) RKey(f Fact) (string, bool) { return equiKey(f, e.RCols) }
+
+// SKey returns the partition key of an s fact; see RKey.
+func (e EquiTheta) SKey(f Fact) (string, bool) { return equiKey(f, e.SCols) }
+
+func equiKey(f Fact, cols []int) (string, bool) {
+	var b strings.Builder
+	for _, c := range cols {
+		if f[c].IsNull() {
+			return "", false
+		}
+		f[c].appendKey(&b)
+	}
+	return b.String(), true
+}
+
+// FuncTheta adapts an arbitrary predicate to Theta (general θ conditions:
+// inequalities, band joins, ...). It cannot be hash-partitioned.
+type FuncTheta func(r, s Fact) bool
+
+// Match implements Theta.
+func (f FuncTheta) Match(r, s Fact) bool { return f(r, s) }
+
+// TrueTheta matches every pair (temporal cross product).
+type TrueTheta struct{}
+
+// Match implements Theta.
+func (TrueTheta) Match(r, s Fact) bool { return true }
+
+// Swap returns θ with the roles of the two sides exchanged, preserving the
+// hash-partitioning capability of equi conditions. Used by the right/full
+// outer join variants, which run the window pipeline with swapped inputs.
+func Swap(t Theta) Theta {
+	switch e := t.(type) {
+	case EquiTheta:
+		return EquiTheta{RCols: e.SCols, SCols: e.RCols}
+	case swappedTheta:
+		return e.inner
+	default:
+		return swappedTheta{inner: t}
+	}
+}
+
+type swappedTheta struct{ inner Theta }
+
+func (s swappedTheta) Match(r, t Fact) bool { return s.inner.Match(t, r) }

@@ -1,0 +1,179 @@
+// Package tp defines the temporal-probabilistic data model: typed values,
+// facts (the non-temporal attributes of a tuple), TP tuples (F, λ, T, p)
+// and TP relations, together with validation and the point-wise expansion
+// used as a semantic oracle in tests.
+package tp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates the attribute value types.
+type ValueKind uint8
+
+// The supported attribute value kinds.
+const (
+	KindNull ValueKind = iota
+	KindInt
+	KindFloat
+	KindString
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single attribute value. The zero value is SQL NULL, which is
+// what outer joins emit for the attributes of the non-matching side (the
+// "-" of the paper's Fig. 1b).
+type Value struct {
+	kind ValueKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String_ returns a string value. (The name avoids colliding with the
+// fmt.Stringer method.)
+func String_(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind returns the kind of v.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload; it panics for other kinds.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("tp: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload (ints widen); it panics for other kinds.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	panic("tp: AsFloat on " + v.kind.String())
+}
+
+// AsString returns the string payload; it panics for other kinds.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("tp: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Equal implements SQL-style equality except that NULL = NULL is true,
+// which is what fact identity (grouping) requires. Numeric values compare
+// across int/float kinds.
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindNull || o.kind == KindNull {
+		return v.kind == o.kind
+	}
+	if (v.kind == KindInt || v.kind == KindFloat) && (o.kind == KindInt || o.kind == KindFloat) {
+		if v.kind == KindInt && o.kind == KindInt {
+			return v.i == o.i
+		}
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	return v.s == o.s
+}
+
+// Compare returns -1, 0, +1 with NULL first, then by kind, then by payload.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == KindNull && o.kind == KindNull:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if (v.kind == KindInt || v.kind == KindFloat) && (o.kind == KindInt || o.kind == KindFloat) {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	return strings.Compare(v.s, o.s)
+}
+
+// String renders the value; NULL renders as "-" following Fig. 1b.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "-"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return v.s
+	}
+}
+
+// appendKey writes a canonical, injective encoding of v to b, used to build
+// hashable fact keys.
+func (v Value) appendKey(b *strings.Builder) {
+	switch v.kind {
+	case KindNull:
+		b.WriteByte('N')
+	case KindInt:
+		b.WriteByte('I')
+		b.WriteString(strconv.FormatInt(v.i, 10))
+	case KindFloat:
+		b.WriteByte('F')
+		b.WriteString(strconv.FormatFloat(v.f, 'b', -1, 64))
+	case KindString:
+		b.WriteByte('S')
+		b.WriteString(strconv.Itoa(len(v.s)))
+		b.WriteByte(':')
+		b.WriteString(v.s)
+	}
+	b.WriteByte(';')
+}

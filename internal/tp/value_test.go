@@ -1,0 +1,232 @@
+package tp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	if !Null().IsNull() || Null().Kind() != KindNull {
+		t.Errorf("Null misbehaves")
+	}
+	if Int(42).AsInt() != 42 || Int(42).Kind() != KindInt {
+		t.Errorf("Int misbehaves")
+	}
+	if Float(2.5).AsFloat() != 2.5 || Float(2.5).Kind() != KindFloat {
+		t.Errorf("Float misbehaves")
+	}
+	if String_("x").AsString() != "x" || String_("x").Kind() != KindString {
+		t.Errorf("String misbehaves")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Errorf("int should widen to float")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Null().AsInt() },
+		func() { String_("x").AsFloat() },
+		func() { Int(1).AsString() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Null(), Null(), true},
+		{Null(), Int(0), false},
+		{Int(3), Int(3), true},
+		{Int(3), Int(4), false},
+		{Int(3), Float(3.0), true},
+		{Float(2.5), Float(2.5), true},
+		{String_("a"), String_("a"), true},
+		{String_("a"), String_("b"), false},
+		{String_("3"), Int(3), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("Equal not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	ordered := []Value{Null(), Int(-5), Int(3), Float(3.5), String_("a"), String_("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Null().String() != "-" {
+		t.Errorf("NULL must render as '-' per Fig. 1b, got %q", Null().String())
+	}
+	if Int(7).String() != "7" || Float(0.5).String() != "0.5" || String_("ZAK").String() != "ZAK" {
+		t.Errorf("rendering wrong")
+	}
+}
+
+func TestFactKeyInjective(t *testing.T) {
+	cases := [][2]Fact{
+		{Strings("ab", "c"), Strings("a", "bc")},
+		{Strings("a"), Fact{Null()}},
+		{Fact{Int(1)}, Fact{String_("1")}},
+		{Fact{Int(1), Null()}, Fact{Int(1)}},
+		{Fact{Float(1.5)}, Fact{String_("1.5")}},
+	}
+	for _, c := range cases {
+		if c[0].Key() == c[1].Key() {
+			t.Errorf("Key collision between %v and %v", c[0], c[1])
+		}
+	}
+	if Strings("a", "b").Key() != Strings("a", "b").Key() {
+		t.Errorf("Key must be deterministic")
+	}
+	// Int and equal-valued Float must key differently (Equal treats them
+	// equal for matching but key is structural; grouping uses facts from a
+	// single schema, so kinds are homogeneous).
+	if (Fact{Int(2)}).Key() == (Fact{Float(2)}).Key() {
+		t.Errorf("structural key should distinguish kinds")
+	}
+}
+
+func TestFactOps(t *testing.T) {
+	f := Strings("Ann", "ZAK")
+	g := f.Concat(Nulls(1))
+	if g.String() != "Ann, ZAK, -" {
+		t.Errorf("Concat/String = %q", g)
+	}
+	if !f.Equal(Strings("Ann", "ZAK")) {
+		t.Errorf("Equal failed")
+	}
+	if f.Equal(Strings("Ann")) {
+		t.Errorf("arity mismatch must not be Equal")
+	}
+	if f.Compare(Strings("Ann", "ZAK")) != 0 {
+		t.Errorf("Compare equal failed")
+	}
+	if f.Compare(Strings("Ann", "ZAL")) >= 0 {
+		t.Errorf("Compare order failed")
+	}
+	if f.Compare(Strings("Ann")) <= 0 {
+		t.Errorf("longer fact must compare greater on prefix tie")
+	}
+	cl := f.Clone()
+	cl[0] = String_("Bob")
+	if f[0].AsString() != "Ann" {
+		t.Errorf("Clone must not alias")
+	}
+}
+
+func TestNullsFact(t *testing.T) {
+	n := Nulls(3)
+	if len(n) != 3 {
+		t.Fatalf("Nulls arity")
+	}
+	for _, v := range n {
+		if !v.IsNull() {
+			t.Errorf("Nulls must be NULL")
+		}
+	}
+}
+
+// Property tests on the core value/fact data structures (testing/quick).
+
+func TestValueCompareTotalOrderQuick(t *testing.T) {
+	gen := func(sel, i int, f float64, s string) Value {
+		switch ((sel % 4) + 4) % 4 {
+		case 0:
+			return Null()
+		case 1:
+			return Int(int64(i % 100))
+		case 2:
+			return Float(float64(int(f*8)) / 4)
+		default:
+			return String_(s)
+		}
+	}
+	antisym := func(s1, i1 int, f1 float64, st1 string, s2, i2 int, f2 float64, st2 string) bool {
+		a, b := gen(s1, i1, f1, st1), gen(s2, i2, f2, st2)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(antisym, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	trans := func(s1, i1 int, f1 float64, st1 string,
+		s2, i2 int, f2 float64, st2 string,
+		s3, i3 int, f3 float64, st3 string) bool {
+		a, b, c := gen(s1, i1, f1, st1), gen(s2, i2, f2, st2), gen(s3, i3, f3, st3)
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 {
+			return a.Compare(c) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(trans, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+	consistent := func(s1, i1 int, f1 float64, st1 string, s2, i2 int, f2 float64, st2 string) bool {
+		a, b := gen(s1, i1, f1, st1), gen(s2, i2, f2, st2)
+		if a.Equal(b) {
+			return a.Compare(b) == 0
+		}
+		return true
+	}
+	if err := quick.Check(consistent, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("Equal/Compare consistency: %v", err)
+	}
+}
+
+func TestFactKeyEqualConsistencyQuick(t *testing.T) {
+	// Facts over string values: Key equality must coincide with Equal.
+	f := func(a1, a2, b1, b2 string) bool {
+		fa := Strings(a1, a2)
+		fb := Strings(b1, b2)
+		return (fa.Key() == fb.Key()) == fa.Equal(fb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactCompareMatchesKeyOrderQuick(t *testing.T) {
+	// Compare must be a total order agreeing with Equal.
+	f := func(a1, b1 string, x, y int8) bool {
+		fa := Fact{String_(a1), Int(int64(x))}
+		fb := Fact{String_(b1), Int(int64(y))}
+		c := fa.Compare(fb)
+		if fa.Equal(fb) {
+			return c == 0
+		}
+		return c != 0 && c == -fb.Compare(fa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package window defines generalized lineage-aware temporal windows, the
+// central mechanism of the paper: a window binds an interval to the facts
+// and lineages of all matching valid tuples of each input relation.
+//
+// A window has schema (Fr, Fs, T, λr, λs) and belongs to exactly one of
+// three disjoint sets (paper, Table I):
+//
+//   - overlapping WO(r;s,θ): maximal interval where one tuple of r and one
+//     tuple of s overlap and satisfy θ;
+//   - unmatched  WU(r;s,θ): maximal (sub)interval of a tuple of r where no
+//     tuple of s is valid or satisfies θ (Fs = null, λs = null);
+//   - negating   WN(r;s,θ): elementary subinterval where a tuple of r and
+//     at least one matching tuple of s are valid; λs is the disjunction of
+//     all matching valid s lineages (Fs = null).
+//
+// Besides the Window type itself, this package provides two *independent*
+// formalizations used to validate the sweep algorithms of internal/core:
+// declarative per-window checkers that transcribe Table I verbatim, and a
+// set-level specification (Spec*) that constructs each window set directly
+// from its definition. Both are deliberately naive (quadratic); the
+// pipelined algorithms must agree with them exactly.
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"tpjoin/internal/interval"
+	"tpjoin/internal/lineage"
+	"tpjoin/internal/tp"
+)
+
+// Class discriminates the three disjoint window sets.
+type Class uint8
+
+// The window classes.
+const (
+	Overlapping Class = iota
+	Unmatched
+	Negating
+)
+
+func (c Class) String() string {
+	switch c {
+	case Overlapping:
+		return "overlapping"
+	case Unmatched:
+		return "unmatched"
+	case Negating:
+		return "negating"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Window is a generalized lineage-aware temporal window (Fr, Fs, T, λr, λs).
+//
+// Fs is nil for unmatched and negating windows; Ls is nil for unmatched
+// windows only (the paper's null lineage). RID identifies the tuple of the
+// outer relation r that the window was created for, and RT carries that
+// tuple's original validity interval — the enhancement the overlap join
+// adds so that LAWAU can sweep each tuple's interval without revisiting r.
+type Window struct {
+	Fr tp.Fact
+	Fs tp.Fact
+	T  interval.Interval
+	Lr *lineage.Expr
+	Ls *lineage.Expr
+
+	RID int               // index of the r tuple this window belongs to
+	RT  interval.Interval // original interval of that r tuple
+}
+
+// Class returns the window's class, derived from the null pattern of
+// (Fs, λs) exactly as Table I prescribes.
+func (w Window) Class() Class {
+	switch {
+	case w.Fs != nil:
+		return Overlapping
+	case w.Ls == nil:
+		return Unmatched
+	default:
+		return Negating
+	}
+}
+
+// String renders the window like the paper's examples, e.g.
+// ('Ann, ZAK', null, [5,6), a1, b3 ∨ b2).
+func (w Window) String() string {
+	fs := "null"
+	if w.Fs != nil {
+		fs = "'" + w.Fs.String() + "'"
+	}
+	return fmt.Sprintf("('%s', %s, %s, %s, %s)", w.Fr, fs, w.T, w.Lr, w.Ls)
+}
+
+// Equal reports deep equality of two windows including their r-tuple
+// binding (used by tests to compare algorithm output against the spec).
+func (w Window) Equal(o Window) bool {
+	if w.RID != o.RID || !w.T.Equal(o.T) || !w.RT.Equal(o.RT) {
+		return false
+	}
+	if !w.Fr.Equal(o.Fr) {
+		return false
+	}
+	if (w.Fs == nil) != (o.Fs == nil) || (w.Fs != nil && !w.Fs.Equal(o.Fs)) {
+		return false
+	}
+	if !exprEq(w.Lr, o.Lr) || !exprEq(w.Ls, o.Ls) {
+		return false
+	}
+	return true
+}
+
+func exprEq(a, b *lineage.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Equal(b)
+}
+
+// Sort orders windows canonically by (RID, T, Fs) — the grouping order the
+// sweep algorithms consume and produce.
+func Sort(ws []Window) {
+	sort.SliceStable(ws, func(i, j int) bool {
+		a, b := ws[i], ws[j]
+		if a.RID != b.RID {
+			return a.RID < b.RID
+		}
+		if c := a.T.Compare(b.T); c != 0 {
+			return c < 0
+		}
+		switch {
+		case a.Fs == nil && b.Fs != nil:
+			return true
+		case a.Fs != nil && b.Fs == nil:
+			return false
+		case a.Fs == nil:
+			return false
+		default:
+			return a.Fs.Compare(b.Fs) < 0
+		}
+	})
+}
+
+// SetEqual reports whether two window multisets are equal up to order.
+func SetEqual(a, b []Window) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+outer:
+	for _, wa := range a {
+		for j := range b {
+			if !used[j] && wa.Equal(b[j]) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
