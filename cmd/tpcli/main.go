@@ -1,0 +1,88 @@
+// Command tpcli is the remote counterpart of cmd/tpquery: an interactive
+// shell (or one-shot query runner) against a running tpserverd. Results
+// render byte-identically to the in-process shell.
+//
+//	tpcli [-addr localhost:7654] [-timeout 0] [-e "SELECT ..."]
+//
+// With -e the single statement is executed and tpcli exits with a
+// non-zero status on error; otherwise a REPL starts. The whole dialect of
+// cmd/tpquery is available, plus the server builtin \metrics. SET
+// statements affect only this session.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"tpjoin/internal/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:7654", "tpserverd address")
+		timeout = flag.Duration("timeout", 0, "per-query client deadline (0 = none)")
+		oneShot = flag.String("e", "", "execute one statement and exit")
+	)
+	flag.Parse()
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpcli:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	query := func(line string) (quit, failed bool) {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		resp, err := c.Query(ctx, line)
+		if err != nil {
+			if se, ok := err.(*client.ServerError); ok {
+				if se.Usage {
+					fmt.Println(se.Msg)
+				} else {
+					fmt.Println("error:", err)
+				}
+				return false, true
+			}
+			fmt.Fprintln(os.Stderr, "tpcli:", err)
+			return true, true
+		}
+		client.Render(os.Stdout, resp)
+		return resp.Kind == "quit", false
+	}
+
+	if *oneShot != "" {
+		if _, failed := query(*oneShot); failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("tpcli — connected to %s; \\help for the dialect, \\metrics for counters, \\q quits\n", *addr)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("tp> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		quit, failed := query(in.Text())
+		if quit {
+			// A transport failure ends the REPL abnormally; \q ends it
+			// cleanly.
+			if failed {
+				os.Exit(1)
+			}
+			return
+		}
+	}
+}

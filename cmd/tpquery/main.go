@@ -25,6 +25,12 @@
 //	tp> SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc;
 //	tp> SET strategy = ta;
 //	tp> EXPLAIN ANALYZE SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc;
+//
+// SET is session-scoped: it configures this shell's planner only. The
+// same dialect (and the same dispatch core, internal/shell) is served to
+// concurrent remote sessions by cmd/tpserverd, where each connection
+// likewise owns its SET settings while sharing the catalog; cmd/tpcli is
+// the matching remote REPL.
 package main
 
 import (

@@ -1,0 +1,119 @@
+// Command tpserverd is the concurrent TP-SQL query server: it serves the
+// shell dialect (see cmd/tpquery) to many remote sessions at once over a
+// newline-delimited JSON protocol, with one shared catalog and
+// per-session SET settings.
+//
+//	tpserverd [-addr localhost:7654] [-timeout 30s] [-max-timeout 5m]
+//	          [-gen webkit:1000] [-gen meteo:1000] [-no-preload] [-quiet]
+//
+// The default bind is loopback-only: the dialect includes \load, \save,
+// \loadb and \saveb, which read and write files on the server host with
+// the server's privileges, so exposing the port to untrusted networks is
+// equivalent to granting filesystem access. Bind a non-loopback address
+// (-addr :7654) only behind authentication or inside a trusted network.
+//
+// Every connection is an isolated session: `SET strategy = ta` on one
+// session never affects another, while CREATE TABLE ... AS, \load and
+// \drop act on the shared catalog and are immediately visible to all
+// sessions. Each query runs under a context deadline (-timeout, overridable
+// per request up to -max-timeout); `\metrics` returns Prometheus-style
+// counters (queries served, rows returned, timeouts, active sessions).
+//
+// By default the paper's Fig. 1a relations a and b are preloaded; -gen
+// additionally registers synthetic workloads under w_r/w_s (webkit) and
+// m_r/m_s (meteo). Connect with cmd/tpcli or the internal/client library.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"tpjoin/internal/catalog"
+	"tpjoin/internal/dataset"
+	"tpjoin/internal/server"
+	"tpjoin/internal/shell"
+	"tpjoin/internal/tp"
+)
+
+type genFlags []string
+
+func (g *genFlags) String() string     { return strings.Join(*g, ",") }
+func (g *genFlags) Set(v string) error { *g = append(*g, v); return nil }
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:7654", "TCP listen address (loopback by default: sessions can read/write server-side files via \\load|\\save)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request timeouts (0 = uncapped)")
+		noPreload  = flag.Bool("no-preload", false, "skip preloading the paper's Fig. 1a relations")
+		quiet      = flag.Bool("quiet", false, "suppress per-session logging")
+		gens       genFlags
+	)
+	flag.Var(&gens, "gen", "preload a synthetic workload, e.g. webkit:1000 or meteo:500 (repeatable)")
+	flag.Parse()
+
+	cat := catalog.New()
+	if !*noPreload {
+		shell.PreloadFig1a(cat)
+	}
+	for _, g := range gens {
+		if err := preloadWorkload(cat, g); err != nil {
+			log.Fatalf("tpserverd: -gen %s: %v", g, err)
+		}
+	}
+
+	cfg := server.Config{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout}
+	if !*quiet {
+		cfg.Logf = log.New(os.Stderr, "tpserverd: ", log.LstdFlags).Printf
+	}
+	srv := server.New(cat, cfg)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Println("tpserverd: shutting down")
+		srv.Close()
+	}()
+
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatalf("tpserverd: %v", err)
+	}
+}
+
+// preloadWorkload parses "<workload>:<n>" and registers the generated
+// relation pair under workload-prefixed names.
+func preloadWorkload(cat *catalog.Catalog, spec string) error {
+	kind, size, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("want <workload>:<n>")
+	}
+	n, err := strconv.Atoi(size)
+	if err != nil || n <= 0 {
+		return fmt.Errorf("bad size %q", size)
+	}
+	var r, s *tp.Relation
+	var prefix string
+	switch kind {
+	case "webkit":
+		r, s = dataset.Webkit(n, 1)
+		prefix = "w_"
+	case "meteo":
+		r, s = dataset.Meteo(n, 1)
+		prefix = "m_"
+	default:
+		return fmt.Errorf("unknown workload %q (want webkit or meteo)", kind)
+	}
+	r.Name, s.Name = prefix+"r", prefix+"s"
+	if err := cat.Register(r); err != nil {
+		return err
+	}
+	return cat.Register(s)
+}

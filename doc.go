@@ -7,8 +7,18 @@
 // and Meteo workloads, and a benchmark harness reproducing the paper's
 // evaluation figures.
 //
+// Beyond the single-process library, the repo includes a concurrent
+// query-server subsystem: cmd/tpserverd serves the TP-SQL dialect to many
+// remote sessions at once over a newline-delimited JSON protocol
+// (internal/server), with one shared concurrency-safe catalog, private
+// per-session SET settings (strategy = nj|ta, ta_nested_loop), per-query
+// context deadlines and \metrics counters. cmd/tpcli and the
+// internal/client library are the matching remote shell and Go client;
+// both render results byte-identically to the local REPL, whose
+// dispatch core (internal/shell.Core) the server reuses.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results. The implementation lives
 // under internal/; the runnable entry points are the examples/ programs
-// and the cmd/ tools (tpquery, tpbench, tpgen).
+// and the cmd/ tools (tpquery, tpserverd, tpcli, tpbench, tpgen).
 package tpjoin

@@ -1,0 +1,3 @@
+module tpjoin
+
+go 1.24

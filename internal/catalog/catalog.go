@@ -15,13 +15,21 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"sync"
 
 	"tpjoin/internal/interval"
 	"tpjoin/internal/tp"
 )
 
-// Catalog is a registry of named relations.
+// Catalog is a registry of named relations. It is safe for concurrent use
+// by multiple sessions: the name → relation map is guarded by an RWMutex
+// and registration replaces relations wholesale (pointer swap), so a
+// *tp.Relation obtained from Lookup is a stable snapshot — readers holding
+// it are unaffected by a later CREATE TABLE or drop of the same name.
+// Relations must therefore be treated as immutable once registered;
+// Register copies nothing, it publishes the pointer.
 type Catalog struct {
+	mu   sync.RWMutex
 	rels map[string]*tp.Relation
 }
 
@@ -31,7 +39,8 @@ func New() *Catalog {
 }
 
 // Register adds (or replaces) a relation under its name. The relation must
-// satisfy the sequenced-TP integrity constraint.
+// satisfy the sequenced-TP integrity constraint. Validation runs outside
+// the lock: the relation is not yet shared.
 func (c *Catalog) Register(rel *tp.Relation) error {
 	if rel.Name == "" {
 		return fmt.Errorf("catalog: relation has no name")
@@ -39,33 +48,57 @@ func (c *Catalog) Register(rel *tp.Relation) error {
 	if err := rel.ValidateSequenced(); err != nil {
 		return fmt.Errorf("catalog: refusing to register %s: %w", rel.Name, err)
 	}
+	c.mu.Lock()
 	c.rels[rel.Name] = rel
+	c.mu.Unlock()
 	return nil
 }
 
-// Lookup returns the relation with the given name.
+// Lookup returns the relation with the given name. The returned relation
+// is a stable snapshot: concurrent re-registration under the same name
+// swaps the map entry but never mutates a published relation.
 func (c *Catalog) Lookup(name string) (*tp.Relation, error) {
+	c.mu.RLock()
 	rel, ok := c.rels[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("catalog: unknown relation %q (have %v)", name, c.Names())
 	}
 	return rel, nil
 }
 
-// Names lists the registered relation names in sorted order.
+// Names lists the registered relation names in sorted order. The slice is
+// a copy and remains valid after concurrent catalog changes.
 func (c *Catalog) Names() []string {
+	c.mu.RLock()
 	out := make([]string, 0, len(c.rels))
 	for n := range c.rels {
 		out = append(out, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy-on-read view of the whole catalog: relation
+// pointers keyed by name at one instant. Mutating the returned map does
+// not affect the catalog.
+func (c *Catalog) Snapshot() map[string]*tp.Relation {
+	c.mu.RLock()
+	out := make(map[string]*tp.Relation, len(c.rels))
+	for n, r := range c.rels {
+		out[n] = r
+	}
+	c.mu.RUnlock()
 	return out
 }
 
 // Drop removes a relation; it reports whether the relation existed.
 func (c *Catalog) Drop(name string) bool {
+	c.mu.Lock()
 	_, ok := c.rels[name]
 	delete(c.rels, name)
+	c.mu.Unlock()
 	return ok
 }
 

@@ -1,0 +1,136 @@
+// Package client is a small Go client library for tpserverd's
+// newline-delimited JSON protocol (internal/server). One Client is one
+// session: the server keeps per-connection SET settings, so issue
+// `SET strategy = ta` on the client whose queries should use it.
+//
+// A Client serializes its requests (one in flight at a time), matching
+// the protocol's strict request/response ordering. Use one Client per
+// goroutine — or rely on the internal mutex, which makes concurrent
+// Query calls safe but sequential.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tpjoin/internal/server"
+)
+
+// Client is one open session against a tpserverd instance.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *json.Encoder
+	dec    *json.Decoder
+	nextID uint64
+	// broken records a transport failure. The protocol is strictly
+	// request/response; once a send, receive or id match fails the stream
+	// position is unknowable, so the session is poisoned rather than
+	// risking a stale response being read as the answer to a later query.
+	broken error
+}
+
+// Dial connects to a tpserverd at addr (host:port).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful for tests and custom
+// transports).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+}
+
+// Close hangs up the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Query sends one input line (SQL statement or backslash command) and
+// waits for its response. A deadline on ctx bounds the network wait and
+// is also forwarded to the server as the per-query execution timeout. A
+// response with a non-empty Error is returned as a *ServerError so
+// callers can distinguish query failures from transport failures.
+// timeoutSlack is how much of the caller's deadline budget is reserved
+// for the network round trip: the server is asked to time out this much
+// earlier than the connection read deadline, so an execution timeout
+// arrives as the server's clean error response instead of racing the
+// client's own deadline (which would poison the session).
+const timeoutSlack = 50 * time.Millisecond
+
+func (c *Client) Query(ctx context.Context, query string) (*server.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, fmt.Errorf("client: session poisoned by earlier failure: %w", c.broken)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.nextID++
+	req := server.Request{ID: c.nextID, Query: query}
+	if dl, ok := ctx.Deadline(); ok {
+		if err := c.conn.SetDeadline(dl); err != nil {
+			return nil, err
+		}
+		defer c.conn.SetDeadline(time.Time{})
+		exec := time.Until(dl) - timeoutSlack
+		if min := time.Until(dl) / 2; exec < min {
+			exec = min
+		}
+		if ms := exec.Milliseconds(); ms > 0 {
+			req.TimeoutMS = ms
+		}
+	}
+	// A cancellation mid-wait unblocks the pending read by expiring the
+	// connection deadline; the session is then poisoned (the response is
+	// still in flight), which is the only sound outcome on this strictly
+	// ordered protocol.
+	stop := context.AfterFunc(ctx, func() {
+		c.conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
+	if err := c.enc.Encode(&req); err != nil {
+		c.broken = err
+		return nil, fmt.Errorf("client: send: %w", err)
+	}
+	var resp server.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.broken = err
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("client: server closed the session")
+		}
+		return nil, fmt.Errorf("client: receive: %w", err)
+	}
+	if resp.ID != req.ID {
+		c.broken = fmt.Errorf("response id %d for request %d", resp.ID, req.ID)
+		return nil, fmt.Errorf("client: %w", c.broken)
+	}
+	if resp.Error != "" {
+		return &resp, &ServerError{Msg: resp.Error, Usage: resp.Usage}
+	}
+	return &resp, nil
+}
+
+// ServerError is a query-level failure reported by the server (parse
+// error, unknown relation, execution timeout, ...). The session remains
+// usable after it. Usage marks usage lines and unknown-command notices,
+// which the REPL renders verbatim without an "error:" prefix.
+type ServerError struct {
+	Msg   string
+	Usage bool
+}
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// Render writes resp to w exactly as the in-process shell would render
+// the same statement.
+func Render(w io.Writer, resp *server.Response) { server.RenderResponse(w, resp) }

@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"tpjoin/internal/interval"
+	"tpjoin/internal/tp"
+)
+
+func TestRunContextCancelled(t *testing.T) {
+	r := tp.NewRelation("r", "K")
+	for i := 0; i < 10; i++ {
+		r.Append(tp.Strings("x"), interval.New(int64(i), int64(i)+1), 0.5)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, NewScan(r), "out"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// A live context behaves exactly like Run.
+	rel, err := RunContext(context.Background(), NewScan(r), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 10 {
+		t.Fatalf("got %d tuples, want 10", rel.Len())
+	}
+}

@@ -12,6 +12,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"tpjoin/internal/prob"
@@ -51,6 +52,24 @@ func (b *base) Stats() Stats    { return b.stats }
 
 // Run drains op into a relation named name, opening and closing it.
 func Run(op Operator, name string) (*tp.Relation, error) {
+	return RunContext(context.Background(), op, name)
+}
+
+// cancelCheckInterval is how many tuples RunContext drains between
+// context checks: frequent enough that per-query timeouts bite within
+// microseconds on the pipelined NJ operators, rare enough that the check
+// never shows up in profiles.
+const cancelCheckInterval = 256
+
+// RunContext drains op into a relation named name, opening and closing
+// it, and aborts with ctx.Err() when the context is cancelled or its
+// deadline passes. Cancellation is observed before Open and then every
+// cancelCheckInterval tuples; a blocking Open (the TA baseline
+// materializes there) is only interrupted at the next tuple boundary.
+func RunContext(ctx context.Context, op Operator, name string) (*tp.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
@@ -60,7 +79,12 @@ func Run(op Operator, name string) (*tp.Relation, error) {
 		Attrs: append([]string(nil), op.Attrs()...),
 		Probs: op.Probs(),
 	}
-	for {
+	for n := 0; ; n++ {
+		if n%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t, ok, err := op.Next()
 		if err != nil {
 			return nil, err

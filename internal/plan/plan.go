@@ -6,6 +6,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -431,12 +432,18 @@ func buildPredicate(conds []sql.Condition, b *binding) (engine.Predicate, error)
 // strategy. With analyze, the query is executed and per-operator row
 // counts are included.
 func Explain(sel *sql.Select, cat *catalog.Catalog, sess *Session, analyze bool) (string, error) {
+	return ExplainContext(context.Background(), sel, cat, sess, analyze)
+}
+
+// ExplainContext is Explain with a context governing the ANALYZE
+// execution: a cancelled context aborts the run and returns ctx.Err().
+func ExplainContext(ctx context.Context, sel *sql.Select, cat *catalog.Catalog, sess *Session, analyze bool) (string, error) {
 	op, err := Build(sel, cat, sess)
 	if err != nil {
 		return "", err
 	}
 	if analyze {
-		if _, err := engine.Run(op, "explain"); err != nil {
+		if _, err := engine.RunContext(ctx, op, "explain"); err != nil {
 			return "", err
 		}
 	}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Metrics are the server's monotonic counters (plus the active-session
+// gauge), updated atomically by the session goroutines. Snapshot returns
+// a consistent-enough point-in-time copy; Render produces a
+// Prometheus-style text exposition served by the \metrics builtin.
+type Metrics struct {
+	sessionsOpened atomic.Int64
+	sessionsActive atomic.Int64
+	queriesServed  atomic.Int64
+	queryErrors    atomic.Int64
+	queryTimeouts  atomic.Int64
+	rowsReturned   atomic.Int64
+	execMicros     atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time copy of the counters.
+type MetricsSnapshot struct {
+	SessionsOpened int64
+	SessionsActive int64
+	QueriesServed  int64
+	QueryErrors    int64
+	QueryTimeouts  int64
+	RowsReturned   int64
+	ExecMicros     int64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		SessionsOpened: m.sessionsOpened.Load(),
+		SessionsActive: m.sessionsActive.Load(),
+		QueriesServed:  m.queriesServed.Load(),
+		QueryErrors:    m.queryErrors.Load(),
+		QueryTimeouts:  m.queryTimeouts.Load(),
+		RowsReturned:   m.rowsReturned.Load(),
+		ExecMicros:     m.execMicros.Load(),
+	}
+}
+
+// Render writes the counters in Prometheus text-exposition style.
+func (s MetricsSnapshot) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tpserverd_sessions_opened_total %d\n", s.SessionsOpened)
+	fmt.Fprintf(&b, "tpserverd_sessions_active %d\n", s.SessionsActive)
+	fmt.Fprintf(&b, "tpserverd_queries_served_total %d\n", s.QueriesServed)
+	fmt.Fprintf(&b, "tpserverd_query_errors_total %d\n", s.QueryErrors)
+	fmt.Fprintf(&b, "tpserverd_query_timeouts_total %d\n", s.QueryTimeouts)
+	fmt.Fprintf(&b, "tpserverd_rows_returned_total %d\n", s.RowsReturned)
+	fmt.Fprintf(&b, "tpserverd_exec_seconds_total %g\n", float64(s.ExecMicros)/1e6)
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"fmt"
+	"io"
+
+	"tpjoin/internal/interval"
+	"tpjoin/internal/shell"
+	"tpjoin/internal/tp"
+)
+
+// The wire protocol is newline-delimited JSON over a stream transport:
+// the client writes one Request per line, the server answers with exactly
+// one Response per Request, in order. One connection is one session: it
+// owns its SET settings (strategy, ta_nested_loop) and shares the
+// server's catalog with every other session.
+
+// Request is one client → server message.
+type Request struct {
+	// ID is echoed back in the matching Response.
+	ID uint64 `json:"id"`
+	// Query is an input line in the shell dialect: a SQL statement or a
+	// backslash command.
+	Query string `json:"query"`
+	// TimeoutMS overrides the server's default per-query timeout for this
+	// request, in milliseconds. It is capped by the server's MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Result kinds on the wire.
+const (
+	KindNone    = "none"
+	KindQuit    = "quit"
+	KindMessage = "message"
+	KindRows    = "rows"
+	KindExplain = "explain"
+)
+
+// Row is one result tuple: the fact attribute values (rendered as
+// strings), the lineage formula (rendered), the validity interval
+// endpoints and the tuple probability.
+type Row struct {
+	Fact    []string `json:"fact"`
+	Lineage string   `json:"lineage,omitempty"`
+	TStart  int64    `json:"tstart"`
+	TEnd    int64    `json:"tend"`
+	Prob    float64  `json:"p"`
+}
+
+// Response is one server → client message.
+type Response struct {
+	ID    uint64 `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Usage marks Error as a usage line or unknown-command notice, which
+	// the REPL renders verbatim (no "error:" prefix) — clients should do
+	// the same.
+	Usage     bool     `json:"usage,omitempty"`
+	Kind      string   `json:"kind"`
+	Message   string   `json:"message,omitempty"`
+	Columns   []string `json:"columns,omitempty"`
+	Rows      []Row    `json:"rows,omitempty"`
+	RowCount  int      `json:"row_count"`
+	ElapsedUS int64    `json:"elapsed_us"`
+}
+
+// encodeResult converts a shell evaluation result into a Response body.
+func encodeResult(res shell.Result) Response {
+	resp := Response{OK: true}
+	switch res.Kind {
+	case shell.KindNone:
+		resp.Kind = KindNone
+	case shell.KindQuit:
+		resp.Kind = KindQuit
+	case shell.KindMessage:
+		resp.Kind = KindMessage
+		resp.Message = res.Text
+	case shell.KindExplain:
+		resp.Kind = KindExplain
+		resp.Message = res.Text
+	case shell.KindRows:
+		resp.Kind = KindRows
+		resp.Columns = append([]string(nil), res.Rel.Attrs...)
+		resp.Rows = encodeRows(res.Rel)
+		resp.RowCount = res.Rel.Len()
+	}
+	return resp
+}
+
+func encodeRows(rel *tp.Relation) []Row {
+	rows := make([]Row, 0, rel.Len())
+	for _, t := range rel.Tuples {
+		fact := make([]string, len(t.Fact))
+		for i, v := range t.Fact {
+			fact[i] = v.String()
+		}
+		rows = append(rows, Row{
+			Fact:    fact,
+			Lineage: fmt.Sprintf("%s", t.Lineage),
+			TStart:  t.T.Start,
+			TEnd:    t.T.End,
+			Prob:    t.Prob,
+		})
+	}
+	return rows
+}
+
+// RenderResponse writes resp to w exactly as the in-process shell renders
+// the same statement (shell.RenderResult): tabular rows for SELECT,
+// verbatim text for messages and EXPLAIN. Remote and local output are
+// byte-identical by construction — the same format verbs over the same
+// values.
+func RenderResponse(w io.Writer, resp *Response) {
+	switch resp.Kind {
+	case KindMessage, KindExplain:
+		io.WriteString(w, resp.Message)
+	case KindRows:
+		shell.RenderHeader(w, resp.Columns)
+		for _, r := range resp.Rows {
+			shell.RenderRow(w, r.Fact, r.Lineage, interval.Interval{Start: r.TStart, End: r.TEnd}, r.Prob)
+		}
+		shell.RenderFooter(w, len(resp.Rows))
+	}
+}

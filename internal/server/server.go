@@ -1,0 +1,287 @@
+// Package server implements tpserverd's concurrent TP-SQL query service:
+// a session manager multiplexing many client connections over one shared,
+// concurrency-safe catalog, with per-session settings (SET strategy =
+// nj|ta, SET ta_nested_loop), per-query context cancellation and
+// timeouts, EXPLAIN / EXPLAIN ANALYZE passthrough, and /metrics-style
+// counters exposed through the \metrics builtin.
+//
+// The wire protocol (proto.go) is newline-delimited JSON: one Request per
+// line in, one Response per line out, strictly in order per connection.
+// Each connection is one session backed by a shell.Core, so the server
+// speaks exactly the REPL dialect — the two surfaces share one dispatch
+// implementation and cannot drift.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"tpjoin/internal/catalog"
+	"tpjoin/internal/shell"
+)
+
+// Config carries the server knobs.
+type Config struct {
+	// DefaultTimeout bounds each query's execution when the request does
+	// not ask for its own timeout. Zero means no default timeout.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (and the default). Zero
+	// means uncapped.
+	MaxTimeout time.Duration
+	// Logf, when non-nil, receives one line per session open/close and
+	// per protocol error.
+	Logf func(format string, args ...any)
+}
+
+// Server serves TP-SQL sessions over a shared catalog.
+type Server struct {
+	cat     *catalog.Catalog
+	cfg     Config
+	metrics Metrics
+
+	// baseCtx parents every per-query context; baseCancel fires on Close
+	// so shutdown interrupts in-flight queries at their next cancellation
+	// check instead of waiting them out.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	wg sync.WaitGroup
+}
+
+// New returns a server over cat. The catalog is shared by all sessions;
+// callers typically preload it (shell.PreloadFig1a, \gen, \load).
+func New(cat *catalog.Catalog, cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{cat: cat, cfg: cfg, conns: make(map[net.Conn]struct{}),
+		baseCtx: ctx, baseCancel: cancel}
+}
+
+// Metrics returns a snapshot of the server counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
+
+// Catalog returns the shared catalog.
+func (s *Server) Catalog() *catalog.Catalog { return s.cat }
+
+// ListenAndServe listens on the TCP address addr and serves sessions
+// until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln, one session goroutine per connection,
+// until Close. It always closes ln.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.logf("listening on %s", ln.Addr())
+	var acceptDelay time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.shutdown
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			// Retry transient accept failures (fd exhaustion under load)
+			// with backoff, like net/http.Server — a busy moment must not
+			// stop the accept loop for good.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if acceptDelay == 0 {
+					acceptDelay = 5 * time.Millisecond
+				} else if acceptDelay *= 2; acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				s.logf("accept error (retrying in %v): %v", acceptDelay, err)
+				time.Sleep(acceptDelay)
+				continue
+			}
+			return err
+		}
+		acceptDelay = 0
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		// Add must happen under the same lock that excludes Close's
+		// Wait-after-drain, or a session could be spawned after Close
+		// returned.
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.session(conn)
+	}
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes all live sessions and waits for their
+// goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.shutdown = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// session runs one connection: a shell.Core with private SET settings
+// over the shared catalog, answering requests sequentially.
+func (s *Server) session(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.metrics.sessionsActive.Add(-1)
+		s.logf("session %s closed", conn.RemoteAddr())
+	}()
+	s.metrics.sessionsOpened.Add(1)
+	s.metrics.sessionsActive.Add(1)
+	s.logf("session %s opened", conn.RemoteAddr())
+
+	core := shell.NewCore(s.cat)
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			// EOF and connection resets end the session silently; a
+			// malformed line is unrecoverable mid-stream, so report it
+			// and hang up.
+			if !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.EOF) &&
+				!errors.Is(err, io.ErrUnexpectedEOF) {
+				_ = enc.Encode(Response{ID: req.ID, Kind: KindNone,
+					Error: fmt.Sprintf("protocol: %v", err)})
+			}
+			return
+		}
+		resp := s.handle(core, &req)
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+		if resp.Kind == KindQuit {
+			return
+		}
+	}
+}
+
+// handle evaluates one request on the session's core.
+func (s *Server) handle(core *shell.Core, req *Request) Response {
+	if resp, ok := s.builtin(req); ok {
+		return resp
+	}
+	ctx, cancel := s.queryContext(req)
+	defer cancel()
+	start := time.Now()
+	res, err := s.eval(core, ctx, req.Query)
+	elapsed := time.Since(start)
+	s.metrics.queriesServed.Add(1)
+	s.metrics.execMicros.Add(elapsed.Microseconds())
+	if err != nil {
+		s.metrics.queryErrors.Add(1)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.metrics.queryTimeouts.Add(1)
+		}
+		return Response{ID: req.ID, Kind: KindNone, Error: err.Error(),
+			Usage: shell.IsUsageError(err), ElapsedUS: elapsed.Microseconds()}
+	}
+	resp := encodeResult(res)
+	resp.ID = req.ID
+	resp.ElapsedUS = elapsed.Microseconds()
+	s.metrics.rowsReturned.Add(int64(resp.RowCount))
+	return resp
+}
+
+// eval runs one statement with panic containment: the engine panics on
+// some invalid cross-relation states (e.g. joining a stale CREATE TABLE
+// snapshot against a regenerated workload with conflicting base-event
+// probabilities), and an untrusted client must not be able to take the
+// shared server down with one — the panic becomes that query's error and
+// the session (and every other session) lives on.
+func (s *Server) eval(core *shell.Core, ctx context.Context, query string) (res shell.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("query panic: %v", r)
+			res, err = shell.Result{}, fmt.Errorf("query panic: %v", r)
+		}
+	}()
+	return core.Eval(ctx, query)
+}
+
+// builtin intercepts server-level commands that exist only on the remote
+// surface.
+func (s *Server) builtin(req *Request) (Response, bool) {
+	switch strings.TrimSpace(req.Query) {
+	case `\metrics`:
+		return Response{ID: req.ID, OK: true, Kind: KindMessage,
+			Message: s.Metrics().Render()}, true
+	default:
+		return Response{}, false
+	}
+}
+
+// queryContext derives the per-query context from the server default and
+// the request override, capped by MaxTimeout.
+func (s *Server) queryContext(req *Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	if timeout <= 0 {
+		return context.WithCancel(s.baseCtx)
+	}
+	return context.WithTimeout(s.baseCtx, timeout)
+}

@@ -1,0 +1,300 @@
+package shell
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tpjoin/internal/catalog"
+	"tpjoin/internal/dataset"
+	"tpjoin/internal/engine"
+	"tpjoin/internal/interval"
+	"tpjoin/internal/plan"
+	"tpjoin/internal/sql"
+	"tpjoin/internal/tp"
+)
+
+// ResultKind classifies what a statement produced.
+type ResultKind int
+
+const (
+	// KindNone: blank input, nothing to render.
+	KindNone ResultKind = iota
+	// KindQuit: the session asked to terminate (\q).
+	KindQuit
+	// KindMessage: Text carries a status message or listing.
+	KindMessage
+	// KindRows: Rel carries a result relation.
+	KindRows
+	// KindExplain: Text carries an EXPLAIN plan rendering.
+	KindExplain
+)
+
+// Result is the structured outcome of evaluating one input line. The REPL
+// renders it as text; the server encodes it on the wire.
+type Result struct {
+	Kind ResultKind
+	Text string
+	Rel  *tp.Relation
+}
+
+// Core is the statement dispatch/execution engine shared by the
+// interactive REPL (cmd/tpquery) and the query server (cmd/tpserverd):
+// one session's settings bound to a (possibly shared) catalog. Core
+// itself is not safe for concurrent use — each session owns one Core —
+// but distinct Cores may share a catalog, which is concurrency-safe.
+type Core struct {
+	Catalog *catalog.Catalog
+	Session *plan.Session
+}
+
+// NewCore returns a session core over cat with default settings.
+func NewCore(cat *catalog.Catalog) *Core {
+	return &Core{Catalog: cat, Session: &plan.Session{}}
+}
+
+// PreloadFig1a registers the paper's running-example relations a and b
+// (Fig. 1a) into cat.
+func PreloadFig1a(cat *catalog.Catalog) {
+	a := tp.NewRelation("a", "Name", "Loc")
+	a.Append(tp.Strings("Ann", "ZAK"), interval.New(2, 8), 0.7)
+	a.Append(tp.Strings("Jim", "WEN"), interval.New(7, 10), 0.8)
+	b := tp.NewRelation("b", "Hotel", "Loc")
+	b.Append(tp.Strings("hotel3", "SOR"), interval.New(1, 4), 0.9)
+	b.Append(tp.Strings("hotel2", "ZAK"), interval.New(5, 8), 0.6)
+	b.Append(tp.Strings("hotel1", "ZAK"), interval.New(4, 6), 0.7)
+	// The demo relations always satisfy the constraint; ignore error.
+	_ = cat.Register(a)
+	_ = cat.Register(b)
+}
+
+// Eval executes one input line (SQL statement or backslash command) under
+// ctx and returns a structured result. Errors are returned, never
+// rendered; cancellation or deadline expiry during query execution
+// surfaces as ctx.Err().
+func (c *Core) Eval(ctx context.Context, line string) (Result, error) {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return Result{Kind: KindNone}, nil
+	}
+	if strings.HasPrefix(line, `\`) {
+		return c.command(line)
+	}
+	return c.statement(ctx, line)
+}
+
+// usageError marks errors whose text is a usage line (or unknown-command
+// notice) that the REPL prints verbatim, without the "error:" prefix.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+func usagef(format string, args ...any) error {
+	return usageError(fmt.Sprintf(format, args...))
+}
+
+// IsUsageError reports whether err is a usage line or unknown-command
+// notice, which every surface renders verbatim rather than with an
+// "error:" prefix. The server forwards this distinction on the wire so
+// remote rendering stays byte-identical to the REPL.
+func IsUsageError(err error) bool {
+	var u usageError
+	return errors.As(err, &u)
+}
+
+func (c *Core) command(line string) (Result, error) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return Result{Kind: KindQuit}, nil
+	case `\d`:
+		var b strings.Builder
+		for _, n := range c.Catalog.Names() {
+			rel, err := c.Catalog.Lookup(n)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&b, "  %s(%s) — %d tuples\n", n, strings.Join(rel.Attrs, ", "), rel.Len())
+		}
+		return Result{Kind: KindMessage, Text: b.String()}, nil
+	case `\load`:
+		if len(fields) != 3 {
+			return Result{}, usagef(`usage: \load <name> <file.csv>`)
+		}
+		rel, err := catalog.LoadCSV(fields[2], fields[1])
+		if err != nil {
+			return Result{}, err
+		}
+		if err := c.Catalog.Register(rel); err != nil {
+			return Result{}, err
+		}
+		return message("loaded %s: %d tuples\n", fields[1], rel.Len()), nil
+	case `\save`:
+		if len(fields) != 3 {
+			return Result{}, usagef(`usage: \save <name> <file.csv>`)
+		}
+		rel, err := c.Catalog.Lookup(fields[1])
+		if err != nil {
+			return Result{}, err
+		}
+		if err := catalog.SaveCSV(fields[2], rel); err != nil {
+			return Result{}, err
+		}
+		return message("saved %s to %s\n", fields[1], fields[2]), nil
+	case `\saveb`:
+		// Binary format: round-trips derived relations with full lineage.
+		if len(fields) != 3 {
+			return Result{}, usagef(`usage: \saveb <name> <file.tpr>`)
+		}
+		rel, err := c.Catalog.Lookup(fields[1])
+		if err != nil {
+			return Result{}, err
+		}
+		if err := catalog.SaveBinary(fields[2], rel); err != nil {
+			return Result{}, err
+		}
+		return message("saved %s to %s (binary)\n", fields[1], fields[2]), nil
+	case `\loadb`:
+		if len(fields) != 3 {
+			return Result{}, usagef(`usage: \loadb <name> <file.tpr>`)
+		}
+		rel, err := catalog.LoadBinary(fields[2])
+		if err != nil {
+			return Result{}, err
+		}
+		rel.Name = fields[1]
+		if err := c.Catalog.Register(rel); err != nil {
+			return Result{}, err
+		}
+		return message("loaded %s: %d tuples\n", fields[1], rel.Len()), nil
+	case `\gen`:
+		if len(fields) != 3 {
+			return Result{}, usagef(`usage: \gen webkit|meteo <n>`)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 {
+			return Result{}, fmt.Errorf("bad size %s", fields[2])
+		}
+		var r, s *tp.Relation
+		switch fields[1] {
+		case "webkit":
+			r, s = dataset.Webkit(n, 1)
+		case "meteo":
+			r, s = dataset.Meteo(n, 1)
+		default:
+			return Result{}, fmt.Errorf("unknown workload %s", fields[1])
+		}
+		_ = c.Catalog.Register(r)
+		_ = c.Catalog.Register(s)
+		return message("generated r (%d tuples) and s (%d tuples); join on r.Key = s.Key\n",
+			r.Len(), s.Len()), nil
+	case `\drop`:
+		if len(fields) != 2 {
+			return Result{}, usagef(`usage: \drop <name>`)
+		}
+		if !c.Catalog.Drop(fields[1]) {
+			return Result{}, fmt.Errorf("no relation %s", fields[1])
+		}
+		return message("dropped %s\n", fields[1]), nil
+	case `\help`, `\?`:
+		return Result{Kind: KindMessage, Text: helpText}, nil
+	default:
+		return Result{}, usagef("unknown command %s (try \\help)", fields[0])
+	}
+}
+
+func message(format string, args ...any) Result {
+	return Result{Kind: KindMessage, Text: fmt.Sprintf(format, args...)}
+}
+
+func (c *Core) statement(ctx context.Context, line string) (Result, error) {
+	st, err := sql.Parse(line)
+	if err != nil {
+		return Result{}, err
+	}
+	switch s := st.(type) {
+	case *sql.Set:
+		if err := c.Session.ApplySet(s); err != nil {
+			return Result{}, err
+		}
+		return Result{Kind: KindMessage, Text: "ok\n"}, nil
+	case *sql.Explain:
+		out, err := plan.ExplainContext(ctx, s.Query, c.Catalog, c.Session, s.Analyze)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Kind: KindExplain, Text: out}, nil
+	case *sql.CreateTableAs:
+		op, err := plan.Build(s.Query, c.Catalog, c.Session)
+		if err != nil {
+			return Result{}, err
+		}
+		rel, err := engine.RunContext(ctx, op, s.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := c.Catalog.Register(rel); err != nil {
+			return Result{}, err
+		}
+		return message("created %s: %d tuples\n", s.Name, rel.Len()), nil
+	case *sql.Select:
+		op, err := plan.Build(s, c.Catalog, c.Session)
+		if err != nil {
+			return Result{}, err
+		}
+		rel, err := engine.RunContext(ctx, op, "result")
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Kind: KindRows, Rel: rel}, nil
+	default:
+		return Result{}, fmt.Errorf("unsupported statement %T", st)
+	}
+}
+
+// RenderHeader, RenderRow and RenderFooter are the single definition of
+// the tabular result format. Every surface — the local REPL
+// (RenderTable) and the remote client (server.RenderResponse) — renders
+// through these three functions, so their output cannot drift apart.
+
+// RenderHeader writes the column header: the fact attributes plus the
+// λ | T | p columns.
+func RenderHeader(w io.Writer, attrs []string) {
+	fmt.Fprintf(w, "%s | λ | T | p\n", strings.Join(attrs, " | "))
+}
+
+// RenderRow writes one tuple line from its rendered components.
+func RenderRow(w io.Writer, fact []string, lineage string, iv interval.Interval, prob float64) {
+	fmt.Fprintf(w, "%s | %s | %s | %.4g\n", strings.Join(fact, " | "), lineage, iv, prob)
+}
+
+// RenderFooter writes the row-count trailer.
+func RenderFooter(w io.Writer, n int) {
+	fmt.Fprintf(w, "(%d rows)\n", n)
+}
+
+// RenderTable writes rel in the shell's tabular format.
+func RenderTable(w io.Writer, rel *tp.Relation) {
+	RenderHeader(w, rel.Attrs)
+	for _, t := range rel.Tuples {
+		parts := make([]string, len(t.Fact))
+		for i, v := range t.Fact {
+			parts[i] = v.String()
+		}
+		RenderRow(w, parts, fmt.Sprintf("%s", t.Lineage), t.T, t.Prob)
+	}
+	RenderFooter(w, rel.Len())
+}
+
+// RenderResult writes res to w exactly as the interactive shell would.
+func RenderResult(w io.Writer, res Result) {
+	switch res.Kind {
+	case KindMessage, KindExplain:
+		io.WriteString(w, res.Text)
+	case KindRows:
+		RenderTable(w, res.Rel)
+	}
+}

@@ -1,177 +1,57 @@
-// Package shell implements the interactive session logic behind
-// cmd/tpquery: statement dispatch (SELECT / EXPLAIN / SET), backslash
-// commands for catalog management, and result rendering. It is separated
-// from the command so the whole REPL surface is unit-testable.
+// Package shell implements the session logic behind cmd/tpquery and
+// cmd/tpserverd: statement dispatch (SELECT / EXPLAIN / SET), backslash
+// commands for catalog management, and result rendering. The dispatch and
+// execution core (Core) is shared between the interactive REPL and the
+// query server so the two surfaces cannot drift; Shell wraps a Core with
+// a text renderer for the REPL.
 package shell
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 
 	"tpjoin/internal/catalog"
-	"tpjoin/internal/dataset"
-	"tpjoin/internal/engine"
-	"tpjoin/internal/interval"
 	"tpjoin/internal/plan"
-	"tpjoin/internal/sql"
-	"tpjoin/internal/tp"
 )
 
-// Shell is one interactive session: a catalog, session settings and an
-// output sink.
+// Shell is one interactive session: an evaluation core and an output
+// sink.
 type Shell struct {
-	Catalog *catalog.Catalog
-	Session *plan.Session
-	Out     io.Writer
+	Core *Core
+	Out  io.Writer
 }
+
+// Catalog returns the session's catalog.
+func (sh *Shell) Catalog() *catalog.Catalog { return sh.Core.Catalog }
+
+// Session returns the session's planner settings.
+func (sh *Shell) Session() *plan.Session { return sh.Core.Session }
 
 // New returns a shell with the paper's example relations (Fig. 1a)
 // preloaded.
 func New(out io.Writer) *Shell {
-	sh := &Shell{Catalog: catalog.New(), Session: &plan.Session{}, Out: out}
-	a := tp.NewRelation("a", "Name", "Loc")
-	a.Append(tp.Strings("Ann", "ZAK"), interval.New(2, 8), 0.7)
-	a.Append(tp.Strings("Jim", "WEN"), interval.New(7, 10), 0.8)
-	b := tp.NewRelation("b", "Hotel", "Loc")
-	b.Append(tp.Strings("hotel3", "SOR"), interval.New(1, 4), 0.9)
-	b.Append(tp.Strings("hotel2", "ZAK"), interval.New(5, 8), 0.6)
-	b.Append(tp.Strings("hotel1", "ZAK"), interval.New(4, 6), 0.7)
-	// The demo relations always satisfy the constraint; ignore error.
-	_ = sh.Catalog.Register(a)
-	_ = sh.Catalog.Register(b)
-	return sh
+	cat := catalog.New()
+	PreloadFig1a(cat)
+	return &Shell{Core: NewCore(cat), Out: out}
 }
 
 // Execute runs one input line (SQL statement or backslash command) and
 // reports whether the session should terminate.
 func (sh *Shell) Execute(line string) (quit bool) {
-	line = strings.TrimSpace(line)
-	if line == "" {
+	res, err := sh.Core.Eval(context.Background(), line)
+	if err != nil {
+		if IsUsageError(err) {
+			fmt.Fprintln(sh.Out, err.Error())
+		} else {
+			fmt.Fprintln(sh.Out, "error:", err)
+		}
 		return false
 	}
-	if strings.HasPrefix(line, `\`) {
-		return sh.command(line)
-	}
-	sh.statement(line)
-	return false
-}
-
-func (sh *Shell) command(line string) (quit bool) {
-	fields := strings.Fields(line)
-	switch fields[0] {
-	case `\q`, `\quit`:
+	if res.Kind == KindQuit {
 		return true
-	case `\d`:
-		for _, n := range sh.Catalog.Names() {
-			rel, err := sh.Catalog.Lookup(n)
-			if err != nil {
-				continue
-			}
-			fmt.Fprintf(sh.Out, "  %s(%s) — %d tuples\n", n, strings.Join(rel.Attrs, ", "), rel.Len())
-		}
-	case `\load`:
-		if len(fields) != 3 {
-			fmt.Fprintln(sh.Out, `usage: \load <name> <file.csv>`)
-			return false
-		}
-		rel, err := catalog.LoadCSV(fields[2], fields[1])
-		if err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return false
-		}
-		if err := sh.Catalog.Register(rel); err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return false
-		}
-		fmt.Fprintf(sh.Out, "loaded %s: %d tuples\n", fields[1], rel.Len())
-	case `\save`:
-		if len(fields) != 3 {
-			fmt.Fprintln(sh.Out, `usage: \save <name> <file.csv>`)
-			return false
-		}
-		rel, err := sh.Catalog.Lookup(fields[1])
-		if err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return false
-		}
-		if err := catalog.SaveCSV(fields[2], rel); err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return false
-		}
-		fmt.Fprintf(sh.Out, "saved %s to %s\n", fields[1], fields[2])
-	case `\saveb`:
-		// Binary format: round-trips derived relations with full lineage.
-		if len(fields) != 3 {
-			fmt.Fprintln(sh.Out, `usage: \saveb <name> <file.tpr>`)
-			return false
-		}
-		rel, err := sh.Catalog.Lookup(fields[1])
-		if err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return false
-		}
-		if err := catalog.SaveBinary(fields[2], rel); err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return false
-		}
-		fmt.Fprintf(sh.Out, "saved %s to %s (binary)\n", fields[1], fields[2])
-	case `\loadb`:
-		if len(fields) != 3 {
-			fmt.Fprintln(sh.Out, `usage: \loadb <name> <file.tpr>`)
-			return false
-		}
-		rel, err := catalog.LoadBinary(fields[2])
-		if err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return false
-		}
-		rel.Name = fields[1]
-		if err := sh.Catalog.Register(rel); err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return false
-		}
-		fmt.Fprintf(sh.Out, "loaded %s: %d tuples\n", fields[1], rel.Len())
-	case `\gen`:
-		if len(fields) != 3 {
-			fmt.Fprintln(sh.Out, `usage: \gen webkit|meteo <n>`)
-			return false
-		}
-		n, err := strconv.Atoi(fields[2])
-		if err != nil || n <= 0 {
-			fmt.Fprintln(sh.Out, "error: bad size", fields[2])
-			return false
-		}
-		var r, s *tp.Relation
-		switch fields[1] {
-		case "webkit":
-			r, s = dataset.Webkit(n, 1)
-		case "meteo":
-			r, s = dataset.Meteo(n, 1)
-		default:
-			fmt.Fprintln(sh.Out, "error: unknown workload", fields[1])
-			return false
-		}
-		_ = sh.Catalog.Register(r)
-		_ = sh.Catalog.Register(s)
-		fmt.Fprintf(sh.Out, "generated r (%d tuples) and s (%d tuples); join on r.Key = s.Key\n",
-			r.Len(), s.Len())
-	case `\drop`:
-		if len(fields) != 2 {
-			fmt.Fprintln(sh.Out, `usage: \drop <name>`)
-			return false
-		}
-		if sh.Catalog.Drop(fields[1]) {
-			fmt.Fprintf(sh.Out, "dropped %s\n", fields[1])
-		} else {
-			fmt.Fprintf(sh.Out, "error: no relation %s\n", fields[1])
-		}
-	case `\help`, `\?`:
-		fmt.Fprint(sh.Out, helpText)
-	default:
-		fmt.Fprintln(sh.Out, "unknown command", fields[0], `(try \help)`)
 	}
+	RenderResult(sh.Out, res)
 	return false
 }
 
@@ -193,66 +73,3 @@ commands:
   \drop <name>            remove a relation
   \q                      quit
 `
-
-func (sh *Shell) statement(line string) {
-	st, err := sql.Parse(line)
-	if err != nil {
-		fmt.Fprintln(sh.Out, "error:", err)
-		return
-	}
-	switch s := st.(type) {
-	case *sql.Set:
-		if err := sh.Session.ApplySet(s); err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-		} else {
-			fmt.Fprintln(sh.Out, "ok")
-		}
-	case *sql.Explain:
-		out, err := plan.Explain(s.Query, sh.Catalog, sh.Session, s.Analyze)
-		if err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return
-		}
-		fmt.Fprint(sh.Out, out)
-	case *sql.CreateTableAs:
-		op, err := plan.Build(s.Query, sh.Catalog, sh.Session)
-		if err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return
-		}
-		rel, err := engine.Run(op, s.Name)
-		if err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return
-		}
-		if err := sh.Catalog.Register(rel); err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return
-		}
-		fmt.Fprintf(sh.Out, "created %s: %d tuples\n", s.Name, rel.Len())
-	case *sql.Select:
-		op, err := plan.Build(s, sh.Catalog, sh.Session)
-		if err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return
-		}
-		rel, err := engine.Run(op, "result")
-		if err != nil {
-			fmt.Fprintln(sh.Out, "error:", err)
-			return
-		}
-		sh.printResult(rel)
-	}
-}
-
-func (sh *Shell) printResult(rel *tp.Relation) {
-	fmt.Fprintf(sh.Out, "%s | λ | T | p\n", strings.Join(rel.Attrs, " | "))
-	for _, t := range rel.Tuples {
-		parts := make([]string, len(t.Fact))
-		for i, v := range t.Fact {
-			parts[i] = v.String()
-		}
-		fmt.Fprintf(sh.Out, "%s | %s | %s | %.4g\n", strings.Join(parts, " | "), t.Lineage, t.T, t.Prob)
-	}
-	fmt.Fprintf(sh.Out, "(%d rows)\n", rel.Len())
-}
