@@ -11,6 +11,7 @@ package tpjoin_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"tpjoin/internal/align"
@@ -27,7 +28,15 @@ const (
 )
 
 // cached inputs so repeated benchmark iterations do not regenerate data.
-var inputCache = map[string]struct{ r, s *tp.Relation }{}
+// The mutex makes the cache safe for `go test -bench -cpu=...` and future
+// parallel benchmark runners (b.RunParallel), which may enter inputs from
+// several goroutines. Entries are never evicted: the suite's (dataset, n)
+// set is small and fixed, so the cache is bounded by the benchmark matrix
+// — add eviction before introducing unbounded size sweeps here.
+var (
+	inputCacheMu sync.Mutex
+	inputCache   = map[string]struct{ r, s *tp.Relation }{}
+)
 
 func inputs(b *testing.B, ds string, n int) (*tp.Relation, *tp.Relation, tp.EquiTheta) {
 	b.Helper()
@@ -37,6 +46,8 @@ func inputs(b *testing.B, ds string, n int) (*tp.Relation, *tp.Relation, tp.Equi
 		theta = dataset.MeteoTheta()
 	}
 	key := fmt.Sprintf("%s/%d", ds, n)
+	inputCacheMu.Lock()
+	defer inputCacheMu.Unlock()
 	if c, ok := inputCache[key]; ok {
 		return c.r, c.s, theta
 	}

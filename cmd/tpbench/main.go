@@ -9,6 +9,11 @@
 //	tpbench -fig 7 -dataset webkit -sizes 5000,10000,20000
 //	tpbench -extensions     # also run the anti/full-outer extensions
 //	tpbench -repeats 3      # report the minimum of 3 runs per point
+//	tpbench -json BENCH.json -label post-PR2
+//	                        # machine-readable run: ns/op, allocs/op and
+//	                        # B/op per figure panel and strategy, measured
+//	                        # with testing.Benchmark (tracks the perf
+//	                        # trajectory; see BENCH_*.json at the repo root)
 //
 // Output format mirrors the paper's plots: one row per input size (in K),
 // one column per series, runtimes in milliseconds. Speedup summaries
@@ -36,6 +41,8 @@ func main() {
 		repeats    = flag.Int("repeats", 1, "timed repetitions per point (minimum reported)")
 		extensions = flag.Bool("extensions", false, "also run the anti-join and full-outer-join extensions")
 		ablation   = flag.String("ablation", "", "run an ablation instead of the figures: selectivity or groups")
+		jsonPath   = flag.String("json", "", "write a machine-readable benchmark run (ns/op, allocs/op, B/op) to this file instead of text figures")
+		label      = flag.String("label", "tpbench", "label recorded in the -json run")
 	)
 	flag.Parse()
 
@@ -75,6 +82,35 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tpbench: unknown dataset %q\n", *ds)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		figs := []string{"5", "6", "7"}
+		switch *fig {
+		case "all":
+		case "5", "6", "7":
+			figs = []string{*fig}
+		default:
+			fmt.Fprintf(os.Stderr, "tpbench: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		run := bench.CollectJSON(figs, datasets, opt, *label)
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteJSON(f, run); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d records to %s\n", len(run.Records), *jsonPath)
+		return
 	}
 
 	type job struct {

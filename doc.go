@@ -11,7 +11,7 @@
 // query-server subsystem: cmd/tpserverd serves the TP-SQL dialect to many
 // remote sessions at once over a newline-delimited JSON protocol
 // (internal/server), with one shared concurrency-safe catalog, private
-// per-session SET settings (strategy = nj|ta, ta_nested_loop), per-query
+// per-session SET settings (strategy = nj|ta|pnj, ta_nested_loop, join_workers), per-query
 // context deadlines and \metrics counters. cmd/tpcli and the
 // internal/client library are the matching remote shell and Go client;
 // both render results byte-identically to the local REPL, whose

@@ -58,12 +58,13 @@ type Fragment struct {
 }
 
 // indexedInner is the probe-side access path shared by both joins: either
-// a hash table on the equi key or a plain slice (nested loop).
+// hashed equi-key groups (tp.KeyGroups over the interned keys) or a plain
+// slice (nested loop).
 type indexedInner struct {
 	s       *tp.Relation
 	eq      tp.EquiTheta
 	hasEq   bool
-	buckets map[string][]int
+	buckets *tp.KeyGroups[int]
 	all     []int // identity permutation for the nested-loop path
 }
 
@@ -72,11 +73,14 @@ func buildInner(s *tp.Relation, theta tp.Theta, cfg Config) *indexedInner {
 	if eq, ok := theta.(tp.EquiTheta); ok && !cfg.NestedLoop {
 		ix.eq = eq
 		ix.hasEq = true
-		ix.buckets = make(map[string][]int)
+		ix.buckets = tp.NewKeyGroups[int]()
 		for i := range s.Tuples {
-			if k, ok := eq.SKey(s.Tuples[i].Fact); ok {
-				ix.buckets[k] = append(ix.buckets[k], i)
+			h, ok := eq.SKeyHash(s.Tuples[i].Fact)
+			if !ok {
+				continue
 			}
+			g := ix.buckets.Group(h, s.Tuples[i].Fact, eq.SKeyEqual)
+			g.Vals = append(g.Vals, i)
 		}
 		return ix
 	}
@@ -91,11 +95,19 @@ func buildInner(s *tp.Relation, theta tp.Theta, cfg Config) *indexedInner {
 // fact (all of them under nested loop).
 func (ix *indexedInner) candidates(f tp.Fact) []int {
 	if ix.hasEq {
-		k, ok := ix.eq.RKey(f)
+		h, ok := ix.eq.RKeyHash(f)
 		if !ok {
 			return nil
 		}
-		return ix.buckets[k]
+		// Group facts are s facts; compare s key columns against the
+		// probe's r key columns.
+		gi := ix.buckets.Find(h, f, func(group, probe tp.Fact) bool {
+			return ix.eq.KeyMatch(probe, group)
+		})
+		if gi < 0 {
+			return nil
+		}
+		return ix.buckets.Groups()[gi].Vals
 	}
 	return ix.all
 }

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"tpjoin/internal/align"
+	"tpjoin/internal/core"
+	"tpjoin/internal/tp"
+)
+
+// This file is the machine-readable side of the harness: the same figure
+// panels as bench.go, measured with testing.Benchmark so every point
+// carries ns/op, allocs/op and B/op, and serialized as the BENCH_<n>.json
+// files that track the repository's performance trajectory PR over PR.
+// Keep the panel closures in sync with Fig5/Fig6/Fig7 in bench.go.
+
+// Record is one measured panel point.
+type Record struct {
+	Figure      string  `json:"figure"`  // e.g. "5a"
+	Dataset     string  `json:"dataset"` // "webkit" or "meteo"
+	Series      string  `json:"series"`  // "NJ", "TA", "NJ-WN", "NJ-WUON", "PNJ"
+	N           int     `json:"n"`       // input size (total tuples)
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Run is one measured sweep: a label (typically the PR or commit the
+// numbers belong to), the environment, and the records.
+type Run struct {
+	Label     string   `json:"label"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Records   []Record `json:"records"`
+}
+
+// File is the on-disk shape of a BENCH_<n>.json: one or more runs (e.g.
+// the pre-PR baseline and the post-PR measurement).
+type File struct {
+	Schema int   `json:"schema"`
+	Runs   []Run `json:"runs"`
+}
+
+// measure runs f under testing.Benchmark with allocation reporting.
+func measure(f func()) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+}
+
+func record(figure, ds, series string, n int, res testing.BenchmarkResult) Record {
+	return Record{
+		Figure: figure, Dataset: ds, Series: series, N: n,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+// CollectJSON measures the requested figure panels (figs ⊆ {"5","6","7"},
+// datasets ⊆ {"webkit","meteo"}) and returns them as a labelled run.
+// Fig. 7 additionally measures the PNJ series (the engine-wired
+// partitioned-parallel NJ executor), which the text harness does not plot
+// because the paper has no parallel baseline.
+func CollectJSON(figs, datasets []string, opt Options, label string) Run {
+	run := Run{
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, fig := range figs {
+		for _, ds := range datasets {
+			run.Records = append(run.Records, collectPanel(fig, ds, opt)...)
+		}
+	}
+	return run
+}
+
+func collectPanel(fig, ds string, opt Options) []Record {
+	var out []Record
+	id := figID(fig, ds)
+	switch fig {
+	case "5":
+		def := defaultWebkit
+		if ds == "meteo" {
+			def = defaultMeteo
+		}
+		for _, n := range opt.sizes(def) {
+			r, s, theta := generate(ds, n, opt.seed())
+			out = append(out,
+				record(id, ds, "NJ", n, measure(func() {
+					core.Count(core.LAWAU(core.OverlapJoin(r, s, theta)))
+				})),
+				record(id, ds, "TA", n, measure(func() {
+					align.CountWUO(r, s, theta, align.Config{})
+				})))
+		}
+	case "6":
+		def := defaultWebkit
+		if ds == "meteo" {
+			def = defaultMeteo
+		}
+		for _, n := range opt.sizes(def) {
+			r, s, theta := generate(ds, n, opt.seed())
+			wuo := core.Drain(core.LAWAU(core.OverlapJoin(r, s, theta)))
+			out = append(out,
+				record(id, ds, "NJ-WN", n, measure(func() {
+					core.Count(core.LAWAN(core.NewSliceIterator(wuo)))
+				})),
+				record(id, ds, "NJ-WUON", n, measure(func() {
+					core.Count(core.LAWAN(core.LAWAU(core.OverlapJoin(r, s, theta))))
+				})),
+				record(id, ds, "TA", n, measure(func() {
+					align.CountNegating(r, s, theta, align.Config{})
+				})))
+		}
+	case "7":
+		def := defaultWebkitNL
+		cfg := align.Config{NestedLoop: true}
+		if ds == "meteo" {
+			def = defaultMeteo
+			cfg = align.Config{}
+		}
+		for _, n := range opt.sizes(def) {
+			r, s, theta := generate(ds, n, opt.seed())
+			out = append(out,
+				record(id, ds, "NJ", n, measure(func() {
+					core.LeftOuterJoin(r, s, theta)
+				})),
+				record(id, ds, "PNJ", n, measure(func() {
+					core.ParallelJoin(tp.OpLeft, r, s, theta, 0)
+				})),
+				record(id, ds, "TA", n, measure(func() {
+					align.LeftOuterJoin(r, s, theta, cfg)
+				})))
+		}
+	default:
+		panic(fmt.Sprintf("bench: unknown figure %q", fig))
+	}
+	return out
+}
+
+// WriteJSON serializes a File with the given runs, indented for diffable
+// check-ins.
+func WriteJSON(w io.Writer, runs ...Run) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(File{Schema: 1, Runs: runs})
+}

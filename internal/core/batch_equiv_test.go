@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"tpjoin/internal/align"
+	"tpjoin/internal/dataset"
+	"tpjoin/internal/tp"
+	"tpjoin/internal/window"
+)
+
+// These tests pin the batched window transport to the scalar reference
+// path: every join variant must produce byte-identical results whether
+// windows hop the pipeline one Next call or one NextBatch at a time, on
+// both evaluation workloads.
+
+func equivInputs(t *testing.T) []struct {
+	name  string
+	r, s  *tp.Relation
+	theta tp.EquiTheta
+} {
+	t.Helper()
+	wr, ws := dataset.Webkit(3000, 7)
+	mr, ms := dataset.Meteo(1200, 7)
+	return []struct {
+		name  string
+		r, s  *tp.Relation
+		theta tp.EquiTheta
+	}{
+		{"webkit", wr, ws, dataset.WebkitTheta()},
+		{"meteo", mr, ms, dataset.MeteoTheta()},
+	}
+}
+
+// renderTuples gives the byte-exact comparison key of a result.
+func renderTuples(rel *tp.Relation) []string {
+	out := make([]string, rel.Len())
+	for i, tu := range rel.Tuples {
+		out[i] = tu.String()
+	}
+	return out
+}
+
+func drainStream(it TupleIterator, attrs []string) *tp.Relation {
+	out := &tp.Relation{Name: "drained", Attrs: attrs}
+	for {
+		tu, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out.Tuples = append(out.Tuples, tu)
+	}
+}
+
+var equivOps = []tp.Op{tp.OpInner, tp.OpLeft, tp.OpFull, tp.OpAnti}
+
+// TestBatchScalarEquivalence: NJ — the batched JoinStream must be
+// byte-identical to the scalar reference for every operator.
+func TestBatchScalarEquivalence(t *testing.T) {
+	for _, in := range equivInputs(t) {
+		for _, op := range equivOps {
+			batched, attrs := JoinStream(op, in.r, in.s, in.theta)
+			scalar, _ := ScalarJoinStream(op, in.r, in.s, in.theta)
+			got := renderTuples(drainStream(batched, attrs))
+			want := renderTuples(drainStream(scalar, attrs))
+			if len(got) != len(want) {
+				t.Fatalf("%s %v: batched %d tuples, scalar %d", in.name, op, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s %v: tuple %d differs:\n batched: %s\n scalar:  %s",
+						in.name, op, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchScalarEquivalencePNJ: the partitioned-parallel executor must be
+// byte-identical under both transports (same partition-major order).
+func TestBatchScalarEquivalencePNJ(t *testing.T) {
+	for _, in := range equivInputs(t) {
+		for _, op := range equivOps {
+			batched := parallelJoin(op, in.r, in.s, in.theta, 4, true)
+			scalar := parallelJoin(op, in.r, in.s, in.theta, 4, false)
+			got, want := renderTuples(batched), renderTuples(scalar)
+			if len(got) != len(want) {
+				t.Fatalf("%s %v: batched %d tuples, scalar %d", in.name, op, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s %v: tuple %d differs:\n batched: %s\n scalar:  %s",
+						in.name, op, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchScalarEquivalenceTA: the TA baseline has a single (blocking)
+// code path; pin its run-to-run determinism so the three strategies stay
+// comparable byte-for-byte across the equivalence suite.
+func TestBatchScalarEquivalenceTA(t *testing.T) {
+	for _, in := range equivInputs(t) {
+		for _, op := range equivOps {
+			a := renderTuples(align.Join(op, in.r, in.s, in.theta, align.Config{}))
+			b := renderTuples(align.Join(op, in.r, in.s, in.theta, align.Config{}))
+			if len(a) != len(b) {
+				t.Fatalf("%s %v: TA nondeterministic sizes", in.name, op)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s %v: TA tuple %d differs between runs", in.name, op, i)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowBatchEquivalence pins the window-level transport: draining
+// OverlapJoin → LAWAU → LAWAN via NextBatch yields exactly the scalar
+// stream, stage by stage.
+func TestWindowBatchEquivalence(t *testing.T) {
+	for _, in := range equivInputs(t) {
+		pipelines := map[string]func() Iterator{
+			"overlap": func() Iterator { return OverlapJoin(in.r, in.s, in.theta) },
+			"wuo":     func() Iterator { return LAWAU(OverlapJoin(in.r, in.s, in.theta)) },
+			"wuon":    func() Iterator { return LAWAN(LAWAU(OverlapJoin(in.r, in.s, in.theta))) },
+		}
+		for name, mk := range pipelines {
+			scalar := Drain(mk())
+			batched := DrainBatched(mk())
+			if len(scalar) != len(batched) {
+				t.Fatalf("%s/%s: scalar %d windows, batched %d", in.name, name, len(scalar), len(batched))
+			}
+			for i := range scalar {
+				if !scalar[i].Equal(batched[i]) {
+					t.Fatalf("%s/%s: window %d differs:\n scalar:  %v\n batched: %v",
+						in.name, name, i, scalar[i], batched[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMixedNextAndNextBatch interleaves scalar and batched pulls on one
+// iterator; the combined stream must equal the scalar drain.
+func TestMixedNextAndNextBatch(t *testing.T) {
+	in := equivInputs(t)[0]
+	want := Drain(LAWAN(LAWAU(OverlapJoin(in.r, in.s, in.theta))))
+
+	it := LAWAN(LAWAU(OverlapJoin(in.r, in.s, in.theta)))
+	var got []window.Window
+	buf := make([]window.Window, 17) // deliberately not BatchSize
+	scalarTurn := true
+	for {
+		if scalarTurn {
+			w, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, w)
+		} else {
+			n := NextBatch(it, buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		scalarTurn = !scalarTurn
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mixed drain: %d windows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("mixed drain: window %d differs", i)
+		}
+	}
+}
+
+// TestRelCacheInvalidatesOnSort pins the derived-structure cache's
+// staleness detection: re-sorting a relation through tp.Relation's
+// methods (which bump its version) must rebuild the cached key
+// dictionary instead of serving stale tuple indexes.
+func TestRelCacheInvalidatesOnSort(t *testing.T) {
+	r, s := dataset.Webkit(800, 13)
+	theta := dataset.WebkitTheta()
+	before := Drain(LAWAU(OverlapJoin(r, s, theta))) // populates the cache for s
+
+	s.SortByStart() // same length, new tuple order: version bump must invalidate
+	after := Drain(LAWAU(OverlapJoin(r, s, theta)))
+
+	// The window multiset is order-insensitive except for RID/RT, which
+	// track r (untouched); s's reordering must not change the result set.
+	if len(before) != len(after) {
+		t.Fatalf("window count changed after build-side re-sort: %d vs %d", len(before), len(after))
+	}
+	window.Sort(before)
+	window.Sort(after)
+	for i := range before {
+		if !before[i].Equal(after[i]) {
+			t.Fatalf("window %d differs after build-side re-sort (stale cache?)", i)
+		}
+	}
+}

@@ -21,7 +21,11 @@
 // executor (internal/engine).
 package core
 
-import "tpjoin/internal/window"
+import (
+	"sync"
+
+	"tpjoin/internal/window"
+)
 
 // Iterator is a pull-based stream of windows. Next returns the next window
 // and true, or a zero window and false when the stream is exhausted.
@@ -29,7 +33,61 @@ type Iterator interface {
 	Next() (window.Window, bool)
 }
 
-// Drain materializes the remainder of an iterator into a slice.
+// BatchIterator is the batched counterpart of Iterator: NextBatch fills
+// buf with up to len(buf) windows and returns how many it wrote; 0 means
+// the stream is exhausted. Windows arrive in exactly the order Next would
+// produce them, and Next/NextBatch calls may be freely interleaved on one
+// iterator. The batched path exists purely for throughput — one virtual
+// call moves BatchSize windows between pipeline stages instead of one —
+// while the scalar Next path remains the reference implementation
+// (TestBatchScalarEquivalence pins their equality).
+type BatchIterator interface {
+	Iterator
+	NextBatch(buf []window.Window) int
+}
+
+// BatchSize is the number of windows that move per NextBatch hop between
+// pipeline stages. 256 windows ≈ 26 KiB: large enough to amortize call
+// overhead, small enough to stay cache-resident.
+const BatchSize = 256
+
+// batchPool recycles transfer buffers across pipeline instantiations, so
+// repeated joins (REPL statements, server queries, benchmark iterations)
+// do not allocate a fresh BatchSize buffer per operator.
+var batchPool = sync.Pool{
+	New: func() any {
+		s := make([]window.Window, BatchSize)
+		return &s
+	},
+}
+
+func getBatchBuf() *[]window.Window { return batchPool.Get().(*[]window.Window) }
+
+func putBatchBuf(b *[]window.Window) {
+	clear(*b) // drop fact/lineage references so the pool does not pin them
+	batchPool.Put(b)
+}
+
+// NextBatch fills buf from it, using the batched fast path when the
+// iterator provides one and falling back to scalar Next calls otherwise.
+func NextBatch(it Iterator, buf []window.Window) int {
+	if b, ok := it.(BatchIterator); ok {
+		return b.NextBatch(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		w, ok := it.Next()
+		if !ok {
+			break
+		}
+		buf[n] = w
+		n++
+	}
+	return n
+}
+
+// Drain materializes the remainder of an iterator into a slice, one scalar
+// Next call per window (the reference path).
 func Drain(it Iterator) []window.Window {
 	var out []window.Window
 	for {
@@ -41,9 +99,37 @@ func Drain(it Iterator) []window.Window {
 	}
 }
 
+// DrainBatched materializes the remainder of an iterator through the
+// batched transport.
+func DrainBatched(it Iterator) []window.Window {
+	buf := getBatchBuf()
+	defer putBatchBuf(buf)
+	var out []window.Window
+	for {
+		n := NextBatch(it, *buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, (*buf)[:n]...)
+	}
+}
+
 // Count consumes the iterator and returns the number of windows; used by
-// benchmarks to force full evaluation without retaining memory.
+// benchmarks to force full evaluation without retaining memory. It pulls
+// through the batched transport when available.
 func Count(it Iterator) int {
+	if b, ok := it.(BatchIterator); ok {
+		buf := getBatchBuf()
+		defer putBatchBuf(buf)
+		n := 0
+		for {
+			c := b.NextBatch(*buf)
+			if c == 0 {
+				return n
+			}
+			n += c
+		}
+	}
 	n := 0
 	for {
 		if _, ok := it.Next(); !ok {
@@ -74,6 +160,13 @@ func (s *SliceIterator) Next() (window.Window, bool) {
 	return w, true
 }
 
+// NextBatch implements BatchIterator.
+func (s *SliceIterator) NextBatch(buf []window.Window) int {
+	n := copy(buf, s.ws[s.i:])
+	s.i += n
+	return n
+}
+
 // queue is a simple FIFO used by operators that may emit several windows
 // per input window.
 type queue struct {
@@ -96,6 +189,18 @@ func (q *queue) pop() (window.Window, bool) {
 		q.head = 0
 	}
 	return w, true
+}
+
+// popInto moves up to len(buf) queued windows into buf and returns how
+// many it moved — the batched counterpart of pop.
+func (q *queue) popInto(buf []window.Window) int {
+	n := copy(buf, q.buf[q.head:])
+	q.head += n
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return n
 }
 
 func (q *queue) empty() bool { return q.head >= len(q.buf) }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"tpjoin/internal/interval"
 	"tpjoin/internal/lineage"
 	"tpjoin/internal/window"
@@ -25,6 +23,10 @@ type lawan struct {
 	in  Iterator
 	out queue
 
+	// Batched-input state; see lawau.
+	inBuf      *[]window.Window
+	inPos, inN int
+
 	inGroup  bool
 	rid      int
 	rt       interval.Interval
@@ -39,6 +41,60 @@ type lawan struct {
 // (the order LAWAU preserves from OverlapJoin).
 func LAWAN(in Iterator) Iterator { return &lawan{in: in} }
 
+// nextInput returns the next input window, consuming any batched leftovers
+// before falling back to a scalar pull.
+func (l *lawan) nextInput() (window.Window, bool) {
+	if l.inPos < l.inN {
+		w := (*l.inBuf)[l.inPos]
+		l.inPos++
+		return w, true
+	}
+	return l.in.Next()
+}
+
+func (l *lawan) releaseBuf() {
+	if l.inBuf != nil {
+		putBatchBuf(l.inBuf)
+		l.inBuf = nil
+	}
+	l.inPos, l.inN = 0, 0
+}
+
+// consume folds one input window into the sweep state.
+func (l *lawan) consume(w *window.Window) {
+	l.consumeInto(w, nil, 0)
+}
+
+// consumeInto is consume with direct emission; see lawau.consumeInto.
+func (l *lawan) consumeInto(w *window.Window, buf []window.Window, n int) int {
+	if !l.inGroup || w.RID != l.rid {
+		n = l.flushInto(buf, n)
+		l.startGroup(w)
+	}
+	if w.Class() != window.Overlapping {
+		// Unmatched windows need no negation; copy them through (Case 1).
+		return l.emitInto(w, buf, n)
+	}
+	// Close the elementary intervals that end before this window starts
+	// (Cases 2 and 3 of Fig. 4), then activate its s tuple.
+	n = l.advanceInto(w.T.Start, buf, n)
+	n = l.emitInto(w, buf, n)
+	if l.active.empty() {
+		l.curStart = w.T.Start
+	}
+	l.active.push(w.T.End, w.Ls)
+	return n
+}
+
+func (l *lawan) emitInto(w *window.Window, buf []window.Window, n int) int {
+	if n < len(buf) && l.out.empty() {
+		buf[n] = *w
+		return n + 1
+	}
+	l.out.push(*w)
+	return n
+}
+
 func (l *lawan) Next() (window.Window, bool) {
 	for {
 		if w, ok := l.out.pop(); ok {
@@ -47,54 +103,64 @@ func (l *lawan) Next() (window.Window, bool) {
 		if l.done {
 			return window.Window{}, false
 		}
-		w, ok := l.in.Next()
+		w, ok := l.nextInput()
 		if !ok {
 			l.flush()
 			l.done = true
+			l.releaseBuf()
 			continue
 		}
-		if !l.inGroup || w.RID != l.rid {
-			l.flush()
-			l.startGroup(w)
-		}
-		l.feed(w)
+		l.consume(&w)
 	}
 }
 
-func (l *lawan) startGroup(w window.Window) {
+// NextBatch implements BatchIterator; see lawau.NextBatch.
+func (l *lawan) NextBatch(buf []window.Window) int {
+	n := l.out.popInto(buf)
+	for n < len(buf) {
+		if l.done {
+			return n
+		}
+		if l.inPos == l.inN {
+			if l.inBuf == nil {
+				l.inBuf = getBatchBuf()
+			}
+			l.inN = NextBatch(l.in, *l.inBuf)
+			l.inPos = 0
+			if l.inN == 0 {
+				l.flush()
+				l.done = true
+				l.releaseBuf()
+				return n + l.out.popInto(buf[n:])
+			}
+		}
+		for l.inPos < l.inN {
+			n = l.consumeInto(&(*l.inBuf)[l.inPos], buf, n)
+			l.inPos++
+		}
+		n += l.out.popInto(buf[n:])
+	}
+	return n
+}
+
+func (l *lawan) startGroup(w *window.Window) {
 	l.inGroup = true
 	l.rid = w.RID
 	l.rt = w.RT
-	l.frLr = w
+	l.frLr = *w
 	l.active.reset()
 }
 
-func (l *lawan) feed(w window.Window) {
-	if w.Class() != window.Overlapping {
-		// Unmatched windows need no negation; copy them through (Case 1).
-		l.out.push(w)
-		return
-	}
-	// Close the elementary intervals that end before this window starts
-	// (Cases 2 and 3 of Fig. 4), then activate its s tuple.
-	l.advance(w.T.Start)
-	l.out.push(w)
-	if l.active.empty() {
-		l.curStart = w.T.Start
-	}
-	l.active.push(w.T.End, w.Ls)
-}
-
-// advance emits the negating windows of all elementary intervals that are
-// completed at sweep position `to`.
-func (l *lawan) advance(to interval.Time) {
+// advanceInto emits the negating windows of all elementary intervals that
+// are completed at sweep position `to`.
+func (l *lawan) advanceInto(to interval.Time, buf []window.Window, n int) int {
 	for !l.active.empty() {
 		e := l.active.minEnd()
 		if e > to {
 			break
 		}
 		if l.curStart < e {
-			l.emitNegating(l.curStart, e)
+			n = l.emitNegating(l.curStart, e, buf, n)
 		}
 		for !l.active.empty() && l.active.minEnd() == e {
 			l.active.pop()
@@ -102,33 +168,50 @@ func (l *lawan) advance(to interval.Time) {
 		l.curStart = e
 	}
 	if !l.active.empty() && l.curStart < to {
-		l.emitNegating(l.curStart, to)
+		n = l.emitNegating(l.curStart, to, buf, n)
 		l.curStart = to
 	}
+	return n
 }
 
 // flush drains the remaining elementary intervals of the group being
 // closed.
 func (l *lawan) flush() {
-	if !l.inGroup {
-		return
-	}
-	l.advance(interval.MaxTime)
+	l.flushInto(nil, 0)
 }
 
-func (l *lawan) emitNegating(start, end interval.Time) {
-	l.out.push(window.Window{
+func (l *lawan) flushInto(buf []window.Window, n int) int {
+	if !l.inGroup {
+		return n
+	}
+	return l.advanceInto(interval.MaxTime, buf, n)
+}
+
+func (l *lawan) emitNegating(start, end interval.Time, buf []window.Window, n int) int {
+	// Single active s tuple (the common case): its lineage IS the
+	// disjunction; skip lineage.Or's operand-slice allocation.
+	var ls *lineage.Expr
+	if len(l.active.lams) == 1 {
+		ls = l.active.lams[0]
+	} else {
+		ls = lineage.Or(l.active.lineages()...)
+	}
+	w := window.Window{
 		Fr:  l.frLr.Fr,
 		T:   interval.Interval{Start: start, End: end},
 		Lr:  l.frLr.Lr,
-		Ls:  lineage.Or(l.active.lineages()...),
+		Ls:  ls,
 		RID: l.rid, RT: l.rt,
-	})
+	}
+	return l.emitInto(&w, buf, n)
 }
 
 // activeSet is the priority queue of the active s tuples: a min-heap on
 // ending points plus the lineages in activation order (so that printed
-// disjunctions follow the paper's reading order, e.g. b3 ∨ b2).
+// disjunctions follow the paper's reading order, e.g. b3 ∨ b2). The heap
+// is hand-rolled rather than container/heap: the interface-based API
+// boxes every pushed entry, which would cost one allocation per
+// overlapping window.
 type activeSet struct {
 	ends endHeap
 	lams []*lineage.Expr // activation order
@@ -142,16 +225,33 @@ type endEntry struct {
 
 type endHeap []endEntry
 
-func (h endHeap) Len() int            { return len(h) }
-func (h endHeap) Less(i, j int) bool  { return h[i].end < h[j].end }
-func (h endHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *endHeap) Push(x interface{}) { *h = append(*h, x.(endEntry)) }
-func (h *endHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h endHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].end <= h[i].end {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func (h endHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && h[l].end < h[least].end {
+			least = l
+		}
+		if r := 2*i + 2; r < n && h[r].end < h[least].end {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 func (a *activeSet) reset() {
@@ -164,14 +264,21 @@ func (a *activeSet) empty() bool { return len(a.ends) == 0 }
 func (a *activeSet) minEnd() interval.Time { return a.ends[0].end }
 
 func (a *activeSet) push(end interval.Time, lam *lineage.Expr) {
-	heap.Push(&a.ends, endEntry{end: end, lam: lam})
+	a.ends = append(a.ends, endEntry{end: end, lam: lam})
+	a.ends.siftUp(len(a.ends) - 1)
 	a.lams = append(a.lams, lam)
 }
 
 // pop removes the active tuple with the minimal ending point, both from
 // the heap and from the activation-order list.
 func (a *activeSet) pop() {
-	e := heap.Pop(&a.ends).(endEntry)
+	e := a.ends[0]
+	last := len(a.ends) - 1
+	a.ends[0] = a.ends[last]
+	a.ends = a.ends[:last]
+	if last > 0 {
+		a.ends.siftDown(0)
+	}
 	for i, lam := range a.lams {
 		if lam == e.lam {
 			a.lams = append(a.lams[:i], a.lams[i+1:]...)

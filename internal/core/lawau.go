@@ -22,6 +22,13 @@ type lawau struct {
 	in  Iterator
 	out queue
 
+	// Batched-input state: when the consumer pulls through NextBatch, the
+	// sweep pulls its own input in pooled batches too, so windows hop the
+	// whole pipeline BatchSize at a time. The scalar Next path only drains
+	// leftovers from the buffer and otherwise pulls one window at a time.
+	inBuf      *[]window.Window
+	inPos, inN int
+
 	inGroup bool
 	rid     int
 	rt      interval.Interval
@@ -35,6 +42,68 @@ type lawau struct {
 // documentation for the required input order.
 func LAWAU(in Iterator) Iterator { return &lawau{in: in} }
 
+// nextInput returns the next input window, consuming any batched leftovers
+// before falling back to a scalar pull.
+func (l *lawau) nextInput() (window.Window, bool) {
+	if l.inPos < l.inN {
+		w := (*l.inBuf)[l.inPos]
+		l.inPos++
+		return w, true
+	}
+	return l.in.Next()
+}
+
+func (l *lawau) releaseBuf() {
+	if l.inBuf != nil {
+		putBatchBuf(l.inBuf)
+		l.inBuf = nil
+	}
+	l.inPos, l.inN = 0, 0
+}
+
+// consume folds one input window into the sweep state, pushing output
+// windows onto l.out.
+func (l *lawau) consume(w *window.Window) {
+	l.consumeInto(w, nil, 0)
+}
+
+// consumeInto is consume with direct emission: output windows are written
+// to buf[n:] while space remains (and the queue is empty, preserving
+// order) and overflow onto the queue. The scalar path passes a nil buf,
+// so every window takes the queue. Returns the new fill count.
+func (l *lawau) consumeInto(w *window.Window, buf []window.Window, n int) int {
+	if !l.inGroup || w.RID != l.rid {
+		n = l.flushInto(buf, n)
+		l.startGroup(w)
+	}
+	if w.Class() == window.Unmatched {
+		// Base unmatched window from the overlap join: the r tuple has no
+		// match at all; its window already spans the whole interval.
+		l.sawBase = true
+		return l.emitInto(w, buf, n)
+	}
+	// Case analysis of Fig. 3: a gap exists iff the next overlapping
+	// window starts after the covered prefix ends.
+	if w.T.Start > l.maxEnd {
+		g := l.gap(l.maxEnd, w.T.Start)
+		n = l.emitInto(&g, buf, n)
+	}
+	n = l.emitInto(w, buf, n)
+	if w.T.End > l.maxEnd {
+		l.maxEnd = w.T.End
+	}
+	return n
+}
+
+func (l *lawau) emitInto(w *window.Window, buf []window.Window, n int) int {
+	if n < len(buf) && l.out.empty() {
+		buf[n] = *w
+		return n + 1
+	}
+	l.out.push(*w)
+	return n
+}
+
 func (l *lawau) Next() (window.Window, bool) {
 	for {
 		if w, ok := l.out.pop(); ok {
@@ -43,56 +112,70 @@ func (l *lawau) Next() (window.Window, bool) {
 		if l.done {
 			return window.Window{}, false
 		}
-		w, ok := l.in.Next()
+		w, ok := l.nextInput()
 		if !ok {
 			l.flush()
 			l.done = true
+			l.releaseBuf()
 			continue
 		}
-		if !l.inGroup || w.RID != l.rid {
-			l.flush()
-			l.startGroup(w)
-		}
-		l.feed(w)
+		l.consume(&w)
 	}
 }
 
-func (l *lawau) startGroup(w window.Window) {
+// NextBatch implements BatchIterator: input windows are pulled in pooled
+// batches and swept a batch at a time.
+func (l *lawau) NextBatch(buf []window.Window) int {
+	n := l.out.popInto(buf)
+	for n < len(buf) {
+		if l.done {
+			return n
+		}
+		if l.inPos == l.inN {
+			if l.inBuf == nil {
+				l.inBuf = getBatchBuf()
+			}
+			l.inN = NextBatch(l.in, *l.inBuf)
+			l.inPos = 0
+			if l.inN == 0 {
+				l.flush()
+				l.done = true
+				l.releaseBuf()
+				return n + l.out.popInto(buf[n:])
+			}
+		}
+		for l.inPos < l.inN {
+			n = l.consumeInto(&(*l.inBuf)[l.inPos], buf, n)
+			l.inPos++
+		}
+		n += l.out.popInto(buf[n:])
+	}
+	return n
+}
+
+func (l *lawau) startGroup(w *window.Window) {
 	l.inGroup = true
 	l.rid = w.RID
 	l.rt = w.RT
-	l.frLr = w
+	l.frLr = *w
 	l.maxEnd = w.RT.Start
 	l.sawBase = false
 }
 
-func (l *lawau) feed(w window.Window) {
-	if w.Class() == window.Unmatched {
-		// Base unmatched window from the overlap join: the r tuple has no
-		// match at all; its window already spans the whole interval.
-		l.sawBase = true
-		l.out.push(w)
-		return
-	}
-	// Case analysis of Fig. 3: a gap exists iff the next overlapping
-	// window starts after the covered prefix ends.
-	if w.T.Start > l.maxEnd {
-		l.out.push(l.gap(l.maxEnd, w.T.Start))
-	}
-	l.out.push(w)
-	if w.T.End > l.maxEnd {
-		l.maxEnd = w.T.End
-	}
-}
-
 // flush emits the tail gap of the group being closed, if any.
 func (l *lawau) flush() {
+	l.flushInto(nil, 0)
+}
+
+func (l *lawau) flushInto(buf []window.Window, n int) int {
 	if !l.inGroup || l.sawBase {
-		return
+		return n
 	}
 	if l.maxEnd < l.rt.End {
-		l.out.push(l.gap(l.maxEnd, l.rt.End))
+		g := l.gap(l.maxEnd, l.rt.End)
+		n = l.emitInto(&g, buf, n)
 	}
+	return n
 }
 
 func (l *lawau) gap(start, end interval.Time) window.Window {

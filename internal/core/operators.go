@@ -32,15 +32,25 @@ type TupleIterator interface {
 // JoinStream returns the pipelined result stream of the TP join `op` and
 // the output attribute names. The input relations must satisfy the
 // sequenced-TP constraint (see Relation.ValidateSequenced); output tuple
-// probabilities are exact.
+// probabilities are exact. Windows move through the pipeline in pooled
+// batches (BatchSize at a time); the produced tuples are identical to the
+// scalar reference path (ScalarJoinStream).
 func JoinStream(op tp.Op, r, s *tp.Relation, theta tp.Theta) (TupleIterator, []string) {
-	return joinStreamWithProbs(op, r, s, theta, tp.MergeProbs(r, s))
+	return joinStreamWithProbs(op, r, s, theta, tp.MergeProbs(r, s), true)
+}
+
+// ScalarJoinStream is JoinStream with the batched window transport
+// disabled: every window moves through one Next call at a time. It is the
+// reference implementation the batched path is validated against
+// (TestBatchScalarEquivalence) and exists only for that purpose.
+func ScalarJoinStream(op tp.Op, r, s *tp.Relation, theta tp.Theta) (TupleIterator, []string) {
+	return joinStreamWithProbs(op, r, s, theta, tp.MergeProbs(r, s), false)
 }
 
 // joinStreamWithProbs is JoinStream with a pre-merged base-event
 // probability map, letting callers that evaluate many partitioned joins
 // over the same database (ParallelJoin) amortize the merge.
-func joinStreamWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs) (TupleIterator, []string) {
+func joinStreamWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs, batch bool) (TupleIterator, []string) {
 	attrs := joinAttrs(r, s)
 	var phases []phase
 	switch op {
@@ -79,17 +89,17 @@ func joinStreamWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob
 	default:
 		panic(fmt.Sprintf("core: unknown operator %v", op))
 	}
-	return &joinStream{phases: phases, ev: prob.NewEvaluator(probs)}, attrs
+	return &joinStream{phases: phases, ev: prob.NewEvaluator(probs), batch: batch}, attrs
 }
 
 // Join computes the TP join of the given operator, materializing the
 // stream of JoinStream into a new relation.
 func Join(op tp.Op, r, s *tp.Relation, theta tp.Theta) *tp.Relation {
-	return joinWithProbs(op, r, s, theta, tp.MergeProbs(r, s))
+	return joinWithProbs(op, r, s, theta, tp.MergeProbs(r, s), true)
 }
 
-func joinWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs) *tp.Relation {
-	it, attrs := joinStreamWithProbs(op, r, s, theta, probs)
+func joinWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs, batch bool) *tp.Relation {
+	it, attrs := joinStreamWithProbs(op, r, s, theta, probs, batch)
 	out := &tp.Relation{
 		Name:  fmt.Sprintf("%s_%s_%s", r.Name, opTag(op), s.Name),
 		Attrs: attrs,
@@ -154,14 +164,24 @@ type phase struct {
 	opts emitOpts
 }
 
-// joinStream converts window streams into output tuples lazily.
+// joinStream converts window streams into output tuples lazily. With
+// batch set, windows are pulled from each phase through the pooled batched
+// transport; the scalar path pulls one window per Next call and is the
+// reference implementation.
 type joinStream struct {
 	phases []phase
 	cur    int
 	ev     *prob.Evaluator
+
+	batch        bool
+	buf          *[]window.Window
+	bufPos, bufN int
 }
 
 func (j *joinStream) Next() (tp.Tuple, bool) {
+	if j.batch {
+		return j.nextBatched()
+	}
 	for j.cur < len(j.phases) {
 		ph := &j.phases[j.cur]
 		w, ok := ph.it.Next()
@@ -172,6 +192,35 @@ func (j *joinStream) Next() (tp.Tuple, bool) {
 		if t, ok := ph.opts.tuple(w, j.ev); ok {
 			return t, true
 		}
+	}
+	return tp.Tuple{}, false
+}
+
+func (j *joinStream) nextBatched() (tp.Tuple, bool) {
+	for j.cur < len(j.phases) {
+		if j.bufPos == j.bufN {
+			if j.buf == nil {
+				j.buf = getBatchBuf()
+			}
+			j.bufN = NextBatch(j.phases[j.cur].it, *j.buf)
+			j.bufPos = 0
+			if j.bufN == 0 {
+				j.cur++
+				continue
+			}
+		}
+		ph := &j.phases[j.cur]
+		for j.bufPos < j.bufN {
+			w := (*j.buf)[j.bufPos]
+			j.bufPos++
+			if t, ok := ph.opts.tuple(w, j.ev); ok {
+				return t, true
+			}
+		}
+	}
+	if j.buf != nil {
+		putBatchBuf(j.buf)
+		j.buf = nil
 	}
 	return tp.Tuple{}, false
 }

@@ -15,17 +15,19 @@ import (
 // It produces exactly the same window stream, including the per-group
 // ordering by starting point.
 func OverlapJoinIndexed(r, s *tp.Relation, eq tp.EquiTheta) Iterator {
-	j := &indexedOverlapJoin{r: r, s: s, eq: eq, trees: make(map[string]*index.Tree)}
-	buckets := make(map[string][]index.Entry)
+	j := &indexedOverlapJoin{r: r, s: s, eq: eq, keys: tp.NewKeyGroups[index.Entry]()}
 	for i := range s.Tuples {
-		k, ok := eq.SKey(s.Tuples[i].Fact)
+		h, ok := eq.SKeyHash(s.Tuples[i].Fact)
 		if !ok {
 			continue
 		}
-		buckets[k] = append(buckets[k], index.Entry{T: s.Tuples[i].T, ID: i})
+		g := j.keys.Group(h, s.Tuples[i].Fact, eq.SKeyEqual)
+		g.Vals = append(g.Vals, index.Entry{T: s.Tuples[i].T, ID: i})
 	}
-	for k, es := range buckets {
-		j.trees[k] = index.Build(es)
+	groups := j.keys.Groups()
+	j.trees = make([]*index.Tree, len(groups))
+	for gi := range groups {
+		j.trees[gi] = index.Build(groups[gi].Vals)
 	}
 	return j
 }
@@ -34,10 +36,54 @@ type indexedOverlapJoin struct {
 	r     *tp.Relation
 	s     *tp.Relation
 	eq    tp.EquiTheta
-	trees map[string]*index.Tree
+	keys  *tp.KeyGroups[index.Entry]
+	trees []*index.Tree // one per key group, same indexing
 	ri    int
 	out   queue
 	hits  []int // reusable scratch
+}
+
+// step processes the next r tuple; see hashOverlapJoin.step.
+func (j *indexedOverlapJoin) step() bool {
+	if j.ri >= len(j.r.Tuples) {
+		return false
+	}
+	rt := &j.r.Tuples[j.ri]
+	j.hits = j.hits[:0]
+	if h, ok := j.eq.RKeyHash(rt.Fact); ok {
+		gi := j.keys.Find(h, rt.Fact, func(group, probe tp.Fact) bool {
+			return j.eq.KeyMatch(probe, group)
+		})
+		if gi >= 0 {
+			j.trees[gi].Overlapping(rt.T, func(e index.Entry) bool {
+				j.hits = append(j.hits, e.ID)
+				return true
+			})
+		}
+	}
+	if len(j.hits) == 0 {
+		j.out.push(window.Window{
+			Fr: rt.Fact, T: rt.T, Lr: rt.Lineage,
+			RID: j.ri, RT: rt.T,
+		})
+	} else {
+		// The tree returns matches in tree order; restore the
+		// start-point order LAWAU requires.
+		sort.Slice(j.hits, func(a, b int) bool {
+			return j.s.Tuples[j.hits[a]].T.Less(j.s.Tuples[j.hits[b]].T)
+		})
+		for _, si := range j.hits {
+			st := &j.s.Tuples[si]
+			j.out.push(window.Window{
+				Fr: rt.Fact, Fs: st.Fact,
+				T:  rt.T.Intersect(st.T),
+				Lr: rt.Lineage, Ls: st.Lineage,
+				RID: j.ri, RT: rt.T,
+			})
+		}
+	}
+	j.ri++
+	return true
 }
 
 func (j *indexedOverlapJoin) Next() (window.Window, bool) {
@@ -45,40 +91,20 @@ func (j *indexedOverlapJoin) Next() (window.Window, bool) {
 		if w, ok := j.out.pop(); ok {
 			return w, true
 		}
-		if j.ri >= len(j.r.Tuples) {
+		if !j.step() {
 			return window.Window{}, false
 		}
-		rt := &j.r.Tuples[j.ri]
-		j.hits = j.hits[:0]
-		if key, ok := j.eq.RKey(rt.Fact); ok {
-			if tree := j.trees[key]; tree != nil {
-				tree.Overlapping(rt.T, func(e index.Entry) bool {
-					j.hits = append(j.hits, e.ID)
-					return true
-				})
-			}
-		}
-		if len(j.hits) == 0 {
-			j.out.push(window.Window{
-				Fr: rt.Fact, T: rt.T, Lr: rt.Lineage,
-				RID: j.ri, RT: rt.T,
-			})
-		} else {
-			// The tree returns matches in tree order; restore the
-			// start-point order LAWAU requires.
-			sort.Slice(j.hits, func(a, b int) bool {
-				return j.s.Tuples[j.hits[a]].T.Less(j.s.Tuples[j.hits[b]].T)
-			})
-			for _, si := range j.hits {
-				st := &j.s.Tuples[si]
-				j.out.push(window.Window{
-					Fr: rt.Fact, Fs: st.Fact,
-					T:  rt.T.Intersect(st.T),
-					Lr: rt.Lineage, Ls: st.Lineage,
-					RID: j.ri, RT: rt.T,
-				})
-			}
-		}
-		j.ri++
 	}
+}
+
+// NextBatch implements BatchIterator.
+func (j *indexedOverlapJoin) NextBatch(buf []window.Window) int {
+	n := j.out.popInto(buf)
+	for n < len(buf) {
+		if !j.step() {
+			return n
+		}
+		n += j.out.popInto(buf[n:])
+	}
+	return n
 }

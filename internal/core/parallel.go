@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 
@@ -20,8 +19,23 @@ import (
 // to the paper's operators; the sweep algorithms themselves stay strictly
 // sequential per partition, as their correctness depends on group order.
 func ParallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int) *tp.Relation {
+	return parallelJoin(op, r, s, eq, workers, true)
+}
+
+// MaxWorkers bounds the goroutine and partition count regardless of the
+// caller's request; plan.MaxJoinWorkers applies the same cap at SET time
+// so rejected values never reach the executor.
+const MaxWorkers = 1024
+
+// parallelJoin is ParallelJoin with the batched window transport made
+// explicit, so tests can pin batch/scalar equality of the partitioned
+// executor too.
+func parallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int, batch bool) *tp.Relation {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > MaxWorkers {
+		workers = MaxWorkers
 	}
 	parts := workers * 4 // over-partition to smooth skew
 	if parts < 1 {
@@ -44,7 +58,7 @@ func ParallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int) *tp
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[p] = joinWithProbs(op, rParts[p], sParts[p], eq, merged)
+			results[p] = joinWithProbs(op, rParts[p], sParts[p], eq, merged, batch)
 		}(p)
 	}
 	wg.Wait()
@@ -72,16 +86,16 @@ func ParallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int) *tp
 func partition(rel *tp.Relation, cols []int, parts int) []*tp.Relation {
 	out := make([]*tp.Relation, parts)
 	for i := range out {
-		out[i] = &tp.Relation{Name: rel.Name, Attrs: rel.Attrs, Probs: rel.Probs}
+		// Partitions are per-call temporaries; Transient keeps them out
+		// of the per-relation derived-structure caches.
+		out[i] = &tp.Relation{Name: rel.Name, Attrs: rel.Attrs, Probs: rel.Probs, Transient: true}
 	}
 	eq := tp.EquiTheta{RCols: cols, SCols: cols}
 	for i := range rel.Tuples {
 		t := &rel.Tuples[i]
 		var p int
-		if key, ok := eq.RKey(t.Fact); ok {
-			h := fnv.New32a()
-			_, _ = h.Write([]byte(key))
-			p = int(h.Sum32() % uint32(parts))
+		if h, ok := eq.RKeyHash(t.Fact); ok {
+			p = int(h % uint64(parts))
 		} else {
 			p = i % parts
 		}

@@ -38,25 +38,21 @@ func ProjectLineage(rel *tp.Relation, cols []int, names []string) *tp.Relation {
 		t   interval.Interval
 		lam *lineage.Expr
 	}
-	groups := make(map[string][]entry)
-	facts := make(map[string]tp.Fact)
-	var order []string
+	// Group by hashed projected-fact key in first-seen order.
+	byFact := tp.NewKeyGroups[entry]()
 	for _, tu := range rel.Tuples {
 		f := make(tp.Fact, len(cols))
 		for i, c := range cols {
 			f[i] = tu.Fact[c]
 		}
-		k := f.Key()
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-			facts[k] = f
-		}
-		groups[k] = append(groups[k], entry{t: tu.T, lam: tu.Lineage})
+		g := byFact.Group(f.KeyHash(), f, tp.Fact.KeyEqual)
+		g.Vals = append(g.Vals, entry{t: tu.T, lam: tu.Lineage})
 	}
 
 	ev := prob.NewEvaluator(rel.Probs)
-	for _, k := range order {
-		es := groups[k]
+	list := byFact.Groups()
+	for gi := range list {
+		es := list[gi].Vals
 		// Elementary intervals of the group's coverage.
 		ivs := make([]interval.Interval, len(es))
 		for i, e := range es {
@@ -87,7 +83,7 @@ func ProjectLineage(rel *tp.Relation, cols []int, names []string) *tp.Relation {
 				cur.t.End = chunks[j].t.End
 				j++
 			}
-			out.AppendDerived(facts[k], cur.lam, cur.t, ev.Prob(cur.lam))
+			out.AppendDerived(list[gi].Fact, cur.lam, cur.t, ev.Prob(cur.lam))
 			i = j
 		}
 	}

@@ -64,8 +64,10 @@ const cancelCheckInterval = 256
 // RunContext drains op into a relation named name, opening and closing
 // it, and aborts with ctx.Err() when the context is cancelled or its
 // deadline passes. Cancellation is observed before Open and then every
-// cancelCheckInterval tuples; a blocking Open (the TA baseline
-// materializes there) is only interrupted at the next tuple boundary.
+// cancelCheckInterval tuples; a blocking Open (the TA baseline and the
+// PNJ partition barrier both materialize there) is only interrupted at
+// the next tuple boundary — a long-running blocking strategy runs its
+// Open to completion before the deadline error surfaces.
 func RunContext(ctx context.Context, op Operator, name string) (*tp.Relation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err

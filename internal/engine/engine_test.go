@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 
 	"tpjoin/internal/align"
@@ -176,6 +177,57 @@ func TestTPJoinTAMatchesReference(t *testing.T) {
 	}
 }
 
+func TestTPJoinPNJMatchesReference(t *testing.T) {
+	for _, op := range []tp.Op{tp.OpInner, tp.OpAnti, tp.OpLeft, tp.OpRight, tp.OpFull} {
+		j := NewTPJoin(op, NewScan(paperA()), NewScan(paperB()), theta, StrategyPNJ, align.Config{})
+		j.SetWorkers(3)
+		out, err := Run(j, "q")
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		pm, err := tp.Expand(out)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		ref := tp.RefJoin(op, paperA(), paperB(), theta)
+		if err := pm.EqualProb(ref, 1e-9); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+	}
+}
+
+func TestTPJoinPNJDeterministicOrder(t *testing.T) {
+	mk := func() *TPJoin {
+		j := NewTPJoin(tp.OpLeft, NewScan(paperA()), NewScan(paperB()), theta, StrategyPNJ, align.Config{})
+		j.SetWorkers(4)
+		return j
+	}
+	a, err := Run(mk(), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk(), "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("nondeterministic sizes: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Tuples {
+		if !a.Tuples[i].Fact.Equal(b.Tuples[i].Fact) || !a.Tuples[i].T.Equal(b.Tuples[i].T) {
+			t.Fatalf("tuple %d order differs between runs", i)
+		}
+	}
+}
+
+func TestTPJoinPNJRequiresEquiTheta(t *testing.T) {
+	anyMatch := tp.FuncTheta(func(r, s tp.Fact) bool { return true })
+	j := NewTPJoin(tp.OpLeft, NewScan(paperA()), NewScan(paperB()), anyMatch, StrategyPNJ, align.Config{})
+	if _, err := Run(j, "q"); err == nil {
+		t.Fatalf("PNJ over a non-equi θ must error at Open")
+	}
+}
+
 func TestTPJoinOverDerivedChild(t *testing.T) {
 	// Join whose left child is a filter (not a bare scan): the child is
 	// drained into a temporary relation carrying its probs.
@@ -200,8 +252,20 @@ func TestTPJoinAntiSchema(t *testing.T) {
 }
 
 func TestStrategyString(t *testing.T) {
-	if StrategyNJ.String() != "NJ" || StrategyTA.String() != "TA" {
+	if StrategyNJ.String() != "NJ" || StrategyTA.String() != "TA" || StrategyPNJ.String() != "PNJ" {
 		t.Errorf("strategy names wrong")
+	}
+	// NumStrategies must track the enum: every strategy below it has a
+	// real name, the first value at it does not. A failure here means a
+	// strategy was added without updating NumStrategies (which sizes the
+	// per-strategy metrics arrays in internal/server).
+	for s := Strategy(0); s < NumStrategies; s++ {
+		if strings.HasPrefix(s.String(), "strategy(") {
+			t.Errorf("strategy %d below NumStrategies has no name", s)
+		}
+	}
+	if got := Strategy(NumStrategies).String(); !strings.HasPrefix(got, "strategy(") {
+		t.Errorf("NumStrategies (%d) is smaller than the enum: Strategy(NumStrategies) = %q", NumStrategies, got)
 	}
 }
 

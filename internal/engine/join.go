@@ -20,6 +20,18 @@ const (
 	// StrategyTA is the Temporal Alignment baseline: blocking, with tuple
 	// replication and a duplicate-eliminating union.
 	StrategyTA
+	// StrategyPNJ is the partitioned-parallel NJ executor: both inputs are
+	// hash-partitioned on the equi key and the NJ pipeline runs on every
+	// partition concurrently (core.ParallelJoin). Output order is
+	// deterministic (partition-major) but differs from StrategyNJ's. It
+	// requires an equi-join condition and materializes at Open.
+	StrategyPNJ
+
+	// NumStrategies is the number of defined strategies. Keep it in sync
+	// with the enum above (TestStrategyString guards this): per-strategy
+	// metrics arrays are sized by it, so a strategy beyond it would be
+	// silently dropped from \metrics.
+	NumStrategies = iota
 )
 
 func (s Strategy) String() string {
@@ -28,6 +40,8 @@ func (s Strategy) String() string {
 		return "NJ"
 	case StrategyTA:
 		return "TA"
+	case StrategyPNJ:
+		return "PNJ"
 	default:
 		return fmt.Sprintf("strategy(%d)", uint8(s))
 	}
@@ -45,9 +59,10 @@ type TPJoin struct {
 	theta    tp.Theta
 	strategy Strategy
 	taCfg    align.Config
+	workers  int // PNJ worker count; 0 means GOMAXPROCS
 
 	stream core.TupleIterator // NJ
-	mat    *tp.Relation       // TA
+	mat    *tp.Relation       // TA / PNJ
 	mi     int
 	probs  prob.Probs
 }
@@ -65,6 +80,13 @@ func NewTPJoin(op tp.Op, left, right Operator, theta tp.Theta, strategy Strategy
 	}
 	return j
 }
+
+// SetWorkers sets the PNJ worker count (0 = GOMAXPROCS). It has no effect
+// on the other strategies.
+func (j *TPJoin) SetWorkers(n int) { j.workers = n }
+
+// Workers returns the configured PNJ worker count.
+func (j *TPJoin) Workers() int { return j.workers }
 
 func (j *TPJoin) Open() error {
 	j.stats = Stats{}
@@ -85,6 +107,12 @@ func (j *TPJoin) Open() error {
 		j.stream, _ = core.JoinStream(j.op, r, s, j.theta)
 	case StrategyTA:
 		j.mat = align.Join(j.op, r, s, j.theta, j.taCfg)
+	case StrategyPNJ:
+		eq, ok := j.theta.(tp.EquiTheta)
+		if !ok {
+			return fmt.Errorf("engine: PNJ strategy requires an equi-join condition (got %T)", j.theta)
+		}
+		j.mat = core.ParallelJoin(j.op, r, s, eq, j.workers)
 	default:
 		return fmt.Errorf("engine: unknown join strategy %v", j.strategy)
 	}
@@ -133,7 +161,9 @@ func (j *TPJoin) Probs() prob.Probs {
 
 // childRelation obtains the child's tuples as a relation. A bare Scan
 // passes its relation through without copying (the common case, keeping
-// the NJ pipeline zero-copy); any other child is drained once.
+// the NJ pipeline zero-copy); any other child is drained once into a
+// per-query temporary, marked Transient so downstream operators skip the
+// per-relation derived-structure caches for it.
 func childRelation(op Operator, tag string) (*tp.Relation, error) {
 	if sc, ok := op.(*Scan); ok {
 		return sc.Relation(), nil
@@ -143,9 +173,10 @@ func childRelation(op Operator, tag string) (*tp.Relation, error) {
 	}
 	defer op.Close()
 	out := &tp.Relation{
-		Name:  "tmp_" + tag,
-		Attrs: append([]string(nil), op.Attrs()...),
-		Probs: op.Probs(),
+		Name:      "tmp_" + tag,
+		Attrs:     append([]string(nil), op.Attrs()...),
+		Probs:     op.Probs(),
+		Transient: true,
 	}
 	for {
 		t, ok, err := op.Next()

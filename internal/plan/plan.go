@@ -8,14 +8,25 @@ package plan
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"tpjoin/internal/align"
 	"tpjoin/internal/catalog"
+	"tpjoin/internal/core"
 	"tpjoin/internal/engine"
 	"tpjoin/internal/sql"
 	"tpjoin/internal/tp"
 )
+
+// MaxJoinWorkers caps SET join_workers. PNJ over-partitions by 4× the
+// worker count and spawns one goroutine per partition, so an unbounded
+// value would let a single (possibly remote, on tpserverd) session
+// allocate partitions and goroutines without limit; beyond a few times
+// the CPU count extra workers only add overhead anyway. The executor
+// clamps to the same bound (core.MaxWorkers), so the two layers cannot
+// drift apart.
+const MaxJoinWorkers = core.MaxWorkers
 
 // Session carries the per-connection settings that influence planning.
 type Session struct {
@@ -24,10 +35,13 @@ type Session struct {
 	// TANestedLoop forces the nested-loop plan for the TA baseline
 	// (the plan PostgreSQL chose in the paper's evaluation).
 	TANestedLoop bool
+	// Workers is the PNJ worker count (SET join_workers); 0 means one
+	// worker per CPU (GOMAXPROCS).
+	Workers int
 }
 
 // ApplySet updates the session from a SET statement. Supported settings:
-// strategy = nj|ta, ta_nested_loop = on|off.
+// strategy = nj|ta|pnj, ta_nested_loop = on|off, join_workers = <n>.
 func (s *Session) ApplySet(st *sql.Set) error {
 	switch strings.ToLower(st.Name) {
 	case "strategy":
@@ -36,9 +50,17 @@ func (s *Session) ApplySet(st *sql.Set) error {
 			s.Strategy = engine.StrategyNJ
 		case "ta":
 			s.Strategy = engine.StrategyTA
+		case "pnj":
+			s.Strategy = engine.StrategyPNJ
 		default:
-			return fmt.Errorf("plan: unknown strategy %q (want nj or ta)", st.Value)
+			return fmt.Errorf("plan: unknown strategy %q (want nj, ta or pnj)", st.Value)
 		}
+	case "join_workers":
+		n, err := strconv.Atoi(st.Value)
+		if err != nil || n < 0 || n > MaxJoinWorkers {
+			return fmt.Errorf("plan: join_workers wants an integer in [0,%d], got %q", MaxJoinWorkers, st.Value)
+		}
+		s.Workers = n
 	case "ta_nested_loop":
 		switch strings.ToLower(st.Value) {
 		case "on", "true", "1":
@@ -147,7 +169,9 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 			return nil, err
 		}
 		cfg := align.Config{NestedLoop: sess.TANestedLoop}
-		op = engine.NewTPJoin(sel.Join.Op, op, engine.NewScan(right), theta, sess.Strategy, cfg)
+		join := engine.NewTPJoin(sel.Join.Op, op, engine.NewScan(right), theta, sess.Strategy, cfg)
+		join.SetWorkers(sess.Workers)
+		op = join
 		if sel.Join.Op == tp.OpAnti {
 			// Output schema stays the left table's.
 		} else {
@@ -470,6 +494,13 @@ func render(b *strings.Builder, op engine.Operator, depth int, analyze bool) {
 		kids = []engine.Operator{childOf(o)}
 	case *engine.TPJoin:
 		desc = fmt.Sprintf("TPJoin [%s] strategy=%s", joinName(o), o.Strategy())
+		if o.Strategy() == engine.StrategyPNJ {
+			if w := o.Workers(); w > 0 {
+				desc += fmt.Sprintf(" workers=%d", w)
+			} else {
+				desc += " workers=auto"
+			}
+		}
 		kids = o.Children()
 	case *engine.TPSetOp:
 		desc = fmt.Sprintf("TPSetOp [%s]", o.Kind())

@@ -70,6 +70,50 @@ func TestPaperQueryViaSQL(t *testing.T) {
 	}
 }
 
+func TestPNJViaSQL(t *testing.T) {
+	cat := demoCatalog(t)
+	nj := mustRun(t, "SELECT * FROM a TP LEFT OUTER JOIN b ON a.Loc = b.Loc", &Session{}, cat)
+	sess := &Session{Strategy: engine.StrategyPNJ, Workers: 2}
+	pnj := mustRun(t, "SELECT * FROM a TP LEFT OUTER JOIN b ON a.Loc = b.Loc", sess, cat)
+	if pnj.Len() != nj.Len() {
+		t.Fatalf("PNJ returned %d tuples, NJ %d", pnj.Len(), nj.Len())
+	}
+	pm1, err := tp.Expand(nj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm2, err := tp.Expand(pnj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pm1.EqualProb(pm2, 1e-9); err != nil {
+		t.Errorf("NJ and PNJ via SQL disagree: %v", err)
+	}
+}
+
+func TestExplainPNJShowsWorkers(t *testing.T) {
+	cat := demoCatalog(t)
+	st, err := sql.Parse("EXPLAIN SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := st.(*sql.Explain)
+	out, err := Explain(ex.Query, cat, &Session{Strategy: engine.StrategyPNJ, Workers: 3}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strategy=PNJ workers=3") {
+		t.Errorf("EXPLAIN missing PNJ worker annotation:\n%s", out)
+	}
+	out, err = Explain(ex.Query, cat, &Session{Strategy: engine.StrategyPNJ}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "strategy=PNJ workers=auto") {
+		t.Errorf("EXPLAIN missing auto worker annotation:\n%s", out)
+	}
+}
+
 func TestSwappedOnOrientation(t *testing.T) {
 	cat := demoCatalog(t)
 	out := mustRun(t, "SELECT * FROM a TP LEFT JOIN b ON b.Loc = a.Loc", &Session{}, cat)
@@ -158,8 +202,26 @@ func TestApplySet(t *testing.T) {
 	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "nj"}); err != nil || s.Strategy != engine.StrategyNJ {
 		t.Errorf("SET strategy=nj failed: %v", err)
 	}
+	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "pnj"}); err != nil || s.Strategy != engine.StrategyPNJ {
+		t.Errorf("SET strategy=pnj failed: %v", err)
+	}
 	if err := s.ApplySet(&sql.Set{Name: "ta_nested_loop", Value: "on"}); err != nil || !s.TANestedLoop {
 		t.Errorf("SET ta_nested_loop failed: %v", err)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "join_workers", Value: "4"}); err != nil || s.Workers != 4 {
+		t.Errorf("SET join_workers=4 failed: %v", err)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "join_workers", Value: "0"}); err != nil || s.Workers != 0 {
+		t.Errorf("SET join_workers=0 (auto) failed: %v", err)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "join_workers", Value: "-1"}); err == nil {
+		t.Errorf("negative join_workers must error")
+	}
+	if err := s.ApplySet(&sql.Set{Name: "join_workers", Value: "lots"}); err == nil {
+		t.Errorf("non-numeric join_workers must error")
+	}
+	if err := s.ApplySet(&sql.Set{Name: "join_workers", Value: "1000000000"}); err == nil {
+		t.Errorf("join_workers beyond MaxJoinWorkers must error (shared-server protection)")
 	}
 	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "bogus"}); err == nil {
 		t.Errorf("bad strategy must error")

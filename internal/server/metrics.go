@@ -4,12 +4,24 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+
+	"tpjoin/internal/engine"
 )
+
+// strategyCount is the number of join strategies broken out in the
+// per-strategy counters, taken from the engine's enum so a new strategy
+// is counted from the day it exists.
+const strategyCount = int(engine.NumStrategies)
 
 // Metrics are the server's monotonic counters (plus the active-session
 // gauge), updated atomically by the session goroutines. Snapshot returns
 // a consistent-enough point-in-time copy; Render produces a
 // Prometheus-style text exposition served by the \metrics builtin.
+//
+// Besides the totals, queries, rows and execution time are broken out per
+// join strategy (the session's SET strategy at execution time), so NJ vs
+// PNJ vs TA server-side throughput is observable without a profiler, and
+// the last query's wall time and row count are exported as gauges.
 type Metrics struct {
 	sessionsOpened atomic.Int64
 	sessionsActive atomic.Int64
@@ -18,6 +30,37 @@ type Metrics struct {
 	queryTimeouts  atomic.Int64
 	rowsReturned   atomic.Int64
 	execMicros     atomic.Int64
+
+	// lastQuery holds both last-query values behind one pointer, so a
+	// \metrics scrape never reports a torn pair (rows from one query,
+	// seconds from another) under concurrent sessions.
+	lastQuery atomic.Pointer[lastQuerySample]
+
+	perStrategy [strategyCount]strategyMetrics
+}
+
+type lastQuerySample struct {
+	micros int64
+	rows   int64
+}
+
+type strategyMetrics struct {
+	queries atomic.Int64
+	rows    atomic.Int64
+	micros  atomic.Int64
+}
+
+// recordQuery attributes one executed query to its join strategy and
+// updates the last-query gauges.
+func (m *Metrics) recordQuery(strategy engine.Strategy, rows int, micros int64) {
+	m.lastQuery.Store(&lastQuerySample{micros: micros, rows: int64(rows)})
+	if int(strategy) >= strategyCount {
+		return
+	}
+	sm := &m.perStrategy[strategy]
+	sm.queries.Add(1)
+	sm.rows.Add(int64(rows))
+	sm.micros.Add(micros)
 }
 
 // MetricsSnapshot is a point-in-time copy of the counters.
@@ -29,11 +72,23 @@ type MetricsSnapshot struct {
 	QueryTimeouts  int64
 	RowsReturned   int64
 	ExecMicros     int64
+
+	LastQueryMicros int64
+	LastQueryRows   int64
+
+	PerStrategy [strategyCount]StrategySnapshot
+}
+
+// StrategySnapshot is the per-strategy slice of the counters.
+type StrategySnapshot struct {
+	Queries int64
+	Rows    int64
+	Micros  int64
 }
 
 // Snapshot copies the counters.
 func (m *Metrics) Snapshot() MetricsSnapshot {
-	return MetricsSnapshot{
+	s := MetricsSnapshot{
 		SessionsOpened: m.sessionsOpened.Load(),
 		SessionsActive: m.sessionsActive.Load(),
 		QueriesServed:  m.queriesServed.Load(),
@@ -42,6 +97,18 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RowsReturned:   m.rowsReturned.Load(),
 		ExecMicros:     m.execMicros.Load(),
 	}
+	if lq := m.lastQuery.Load(); lq != nil {
+		s.LastQueryMicros = lq.micros
+		s.LastQueryRows = lq.rows
+	}
+	for i := range m.perStrategy {
+		s.PerStrategy[i] = StrategySnapshot{
+			Queries: m.perStrategy[i].queries.Load(),
+			Rows:    m.perStrategy[i].rows.Load(),
+			Micros:  m.perStrategy[i].micros.Load(),
+		}
+	}
+	return s
 }
 
 // Render writes the counters in Prometheus text-exposition style.
@@ -54,5 +121,13 @@ func (s MetricsSnapshot) Render() string {
 	fmt.Fprintf(&b, "tpserverd_query_timeouts_total %d\n", s.QueryTimeouts)
 	fmt.Fprintf(&b, "tpserverd_rows_returned_total %d\n", s.RowsReturned)
 	fmt.Fprintf(&b, "tpserverd_exec_seconds_total %g\n", float64(s.ExecMicros)/1e6)
+	fmt.Fprintf(&b, "tpserverd_last_query_seconds %g\n", float64(s.LastQueryMicros)/1e6)
+	fmt.Fprintf(&b, "tpserverd_last_query_rows %d\n", s.LastQueryRows)
+	for i, ss := range s.PerStrategy {
+		label := engine.Strategy(i).String()
+		fmt.Fprintf(&b, "tpserverd_strategy_queries_total{strategy=%q} %d\n", label, ss.Queries)
+		fmt.Fprintf(&b, "tpserverd_strategy_rows_total{strategy=%q} %d\n", label, ss.Rows)
+		fmt.Fprintf(&b, "tpserverd_strategy_exec_seconds_total{strategy=%q} %g\n", label, float64(ss.Micros)/1e6)
+	}
 	return b.String()
 }

@@ -239,6 +239,12 @@ func (s *Server) handle(core *shell.Core, req *Request) Response {
 	resp.ID = req.ID
 	resp.ElapsedUS = elapsed.Microseconds()
 	s.metrics.rowsReturned.Add(int64(resp.RowCount))
+	if resp.Kind == KindRows {
+		// Attribute row-producing queries to the session's join strategy
+		// at execution time, so \metrics exposes per-strategy throughput
+		// (NJ vs TA vs PNJ); SET and backslash commands are not workload.
+		s.metrics.recordQuery(core.Session.Strategy, resp.RowCount, elapsed.Microseconds())
+	}
 	return resp
 }
 

@@ -75,7 +75,7 @@ var joinQueries = []string{
 	"SELECT * FROM m_r TP ANTI JOIN m_s ON m_r.Key = m_s.Key",
 }
 
-var strategies = []string{"nj", "ta"}
+var strategies = []string{"nj", "ta", "pnj"}
 
 // referenceOutputs renders every (strategy, query) pair through an
 // in-process shell over the same catalog.
@@ -386,6 +386,32 @@ func TestMetricsBuiltin(t *testing.T) {
 		"tpserverd_sessions_active 1",
 		"tpserverd_queries_served_total 1",
 		"tpserverd_rows_returned_total 2",
+		"tpserverd_last_query_rows 2",
+		"tpserverd_last_query_seconds ",
+		`tpserverd_strategy_queries_total{strategy="NJ"} 1`,
+		`tpserverd_strategy_rows_total{strategy="NJ"} 2`,
+	} {
+		if !strings.Contains(resp.Message, want) {
+			t.Errorf("\\metrics missing %q:\n%s", want, resp.Message)
+		}
+	}
+
+	// Queries run after SET strategy = pnj are attributed to PNJ.
+	if _, err := c.Query(ctx, "SET strategy = pnj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Query(ctx, `\metrics`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`tpserverd_strategy_queries_total{strategy="PNJ"} 1`,
+		`tpserverd_strategy_rows_total{strategy="PNJ"} 7`,
+		`tpserverd_strategy_exec_seconds_total{strategy="PNJ"} `,
+		"tpserverd_last_query_rows 7",
 	} {
 		if !strings.Contains(resp.Message, want) {
 			t.Errorf("\\metrics missing %q:\n%s", want, resp.Message)

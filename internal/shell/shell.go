@@ -61,8 +61,9 @@ const helpText = `statements:
   SELECT ... FROM r TP UNION|INTERSECT|EXCEPT s
   CREATE TABLE name AS SELECT ...
   EXPLAIN [ANALYZE] SELECT ...
-  SET strategy = nj|ta
+  SET strategy = nj|ta|pnj
   SET ta_nested_loop = on|off
+  SET join_workers = <n>        PNJ workers (0 = one per CPU)
 commands:
   \d                      list relations
   \load <name> <file>     load CSV (base relations)

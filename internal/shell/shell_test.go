@@ -54,6 +54,24 @@ func TestSetAndExplain(t *testing.T) {
 	}
 }
 
+func TestSetPNJAndWorkers(t *testing.T) {
+	sh := newShell()
+	if out := run(t, sh, "SET strategy = pnj"); !strings.Contains(out, "ok") {
+		t.Errorf("SET strategy=pnj failed: %s", out)
+	}
+	if out := run(t, sh, "SET join_workers = 2"); !strings.Contains(out, "ok") {
+		t.Errorf("SET join_workers failed: %s", out)
+	}
+	out := run(t, sh, "EXPLAIN SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if !strings.Contains(out, "strategy=PNJ workers=2") {
+		t.Errorf("PNJ must show in EXPLAIN:\n%s", out)
+	}
+	out = run(t, sh, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if !strings.Contains(out, "(7 rows)") {
+		t.Errorf("PNJ Fig. 1b query must return 7 rows:\n%s", out)
+	}
+}
+
 func TestErrorsAreReportedNotFatal(t *testing.T) {
 	sh := newShell()
 	for _, line := range []string{

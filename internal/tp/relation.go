@@ -37,7 +37,21 @@ type Relation struct {
 	// its probability. For a base relation these are exactly the tuple
 	// probabilities; derived relations inherit the union of their inputs'.
 	Probs prob.Probs
+	// Transient marks a per-query temporary (a drained subplan, a
+	// parallel-join partition): the execution engine skips its
+	// per-relation derived-structure caches for transient relations,
+	// whose entries could never be re-hit.
+	Transient bool
+
+	// version counts structure-changing mutations through this package's
+	// methods (appends, sorts); derived-structure caches use it together
+	// with the length to detect staleness. Direct writes to Tuples bypass
+	// it — see the in-place mutation caveat below.
+	version uint64
 }
+
+// Version reports the relation's mutation counter; see Relation.version.
+func (r *Relation) Version() uint64 { return r.version }
 
 // NewRelation returns an empty relation with the given name and attribute
 // names. The name doubles as the lineage-variable prefix for base tuples.
@@ -61,6 +75,7 @@ func (r *Relation) Append(f Fact, t interval.Interval, p float64) lineage.Var {
 	v := lineage.Var{Rel: r.Name, ID: len(r.Tuples) + 1}
 	r.Tuples = append(r.Tuples, Tuple{Fact: f, Lineage: lineage.VarExpr(v), T: t, Prob: p})
 	r.Probs[v] = p
+	r.version++
 	return v
 }
 
@@ -68,6 +83,7 @@ func (r *Relation) Append(f Fact, t interval.Interval, p float64) lineage.Var {
 // sure the base events of the lineage are registered in Probs.
 func (r *Relation) AppendDerived(f Fact, e *lineage.Expr, t interval.Interval, p float64) {
 	r.Tuples = append(r.Tuples, Tuple{Fact: f, Lineage: e, T: t, Prob: p})
+	r.version++
 }
 
 // Len returns the number of tuples.
@@ -88,9 +104,18 @@ func (r *Relation) Clone() *Relation {
 	return out
 }
 
+// In-place mutation caveat: the execution engine caches derived
+// structures (start-sorted orders, interned-key dictionaries) per
+// relation identity, invalidated by the (length, Version) pair. The
+// mutating methods of this package bump Version, so appends and sorts
+// are detected; direct writes through the exported Tuples slice are
+// not. Treat a relation as immutable once it has been used as a join
+// input, or Clone before mutating it by hand.
+
 // SortByFactStart sorts tuples by (fact, interval) — the canonical order
-// for grouping operators.
+// for grouping operators. See the in-place mutation caveat above.
 func (r *Relation) SortByFactStart() {
+	r.version++
 	sort.SliceStable(r.Tuples, func(i, j int) bool {
 		ti, tj := r.Tuples[i], r.Tuples[j]
 		if c := ti.Fact.Compare(tj.Fact); c != 0 {
@@ -100,8 +125,10 @@ func (r *Relation) SortByFactStart() {
 	})
 }
 
-// SortByStart sorts tuples by interval (Start, End).
+// SortByStart sorts tuples by interval (Start, End). See the in-place
+// mutation caveat above.
 func (r *Relation) SortByStart() {
+	r.version++
 	sort.SliceStable(r.Tuples, func(i, j int) bool {
 		return r.Tuples[i].T.Less(r.Tuples[j].T)
 	})
@@ -112,7 +139,7 @@ func (r *Relation) SortByStart() {
 // intervals, so that every fact has at most one probability at each time
 // point. It returns a descriptive error for the first violation.
 func (r *Relation) ValidateSequenced() error {
-	byFact := make(map[string][]interval.Interval)
+	byFact := NewKeyGroups[interval.Interval]()
 	for i, t := range r.Tuples {
 		if t.T.Empty() {
 			return fmt.Errorf("tp: %s tuple %d has empty interval", r.Name, i)
@@ -120,14 +147,14 @@ func (r *Relation) ValidateSequenced() error {
 		if t.Lineage == nil {
 			return fmt.Errorf("tp: %s tuple %d has null lineage", r.Name, i)
 		}
-		k := t.Fact.Key()
-		for _, iv := range byFact[k] {
+		g := byFact.Group(t.Fact.KeyHash(), t.Fact, Fact.KeyEqual)
+		for _, iv := range g.Vals {
 			if iv.Overlaps(t.T) {
 				return fmt.Errorf("tp: %s fact '%s' has overlapping intervals %v and %v",
 					r.Name, t.Fact, iv, t.T)
 			}
 		}
-		byFact[k] = append(byFact[k], t.T)
+		g.Vals = append(g.Vals, t.T)
 	}
 	return nil
 }

@@ -55,6 +55,59 @@ func equiKey(f Fact, cols []int) (string, bool) {
 	return b.String(), true
 }
 
+// RKeyHash is the allocation-free fast path of RKey: a 64-bit FNV-1a hash
+// of the r fact's equi-key columns. Facts with equal RKey strings always
+// hash equal; distinct keys may collide, so hash buckets must be resolved
+// with KeyMatch (probe vs. build side) or RKeyEqual/SKeyEqual (same side)
+// before tuples are paired.
+func (e EquiTheta) RKeyHash(f Fact) (uint64, bool) { return equiKeyHash(f, e.RCols) }
+
+// SKeyHash is the hashed fast path of SKey; see RKeyHash.
+func (e EquiTheta) SKeyHash(f Fact) (uint64, bool) { return equiKeyHash(f, e.SCols) }
+
+func equiKeyHash(f Fact, cols []int) (uint64, bool) {
+	h := uint64(fnvOffset64)
+	for _, c := range cols {
+		if f[c].IsNull() {
+			return 0, false
+		}
+		h = f[c].hashKey(h)
+	}
+	return h, true
+}
+
+// KeyMatch reports whether an r fact and an s fact have identical equi
+// keys under the strict (kind-exact) equality that the canonical key
+// encoding discriminates by — the relation RKey(r) == SKey(s) computes on
+// strings, without the allocation. Note this is deliberately NOT Match:
+// hash-partitioned equi joins pair tuples by key identity, under which
+// Int(2) and Float(2) differ even though Match widens numeric kinds.
+func (e EquiTheta) KeyMatch(r, s Fact) bool {
+	for i := range e.RCols {
+		if !r[e.RCols[i]].keyEqual(s[e.SCols[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RKeyEqual reports strict key equality of the equi-key columns of two r
+// facts (used to resolve hash collisions when grouping one relation).
+func (e EquiTheta) RKeyEqual(a, b Fact) bool { return colsKeyEqual(a, b, e.RCols) }
+
+// SKeyEqual reports strict key equality of the equi-key columns of two s
+// facts; see RKeyEqual.
+func (e EquiTheta) SKeyEqual(a, b Fact) bool { return colsKeyEqual(a, b, e.SCols) }
+
+func colsKeyEqual(a, b Fact, cols []int) bool {
+	for _, c := range cols {
+		if !a[c].keyEqual(b[c]) {
+			return false
+		}
+	}
+	return true
+}
+
 // FuncTheta adapts an arbitrary predicate to Theta (general θ conditions:
 // inequalities, band joins, ...). It cannot be hash-partitioned.
 type FuncTheta func(r, s Fact) bool

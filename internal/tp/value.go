@@ -6,6 +6,7 @@ package tp
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -154,6 +155,60 @@ func (v Value) String() string {
 		return strconv.FormatFloat(v.f, 'g', -1, 64)
 	default:
 		return v.s
+	}
+}
+
+// FNV-1a 64-bit parameters, used by the allocation-free hashed keys.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashKey folds a canonical encoding of v into the running FNV-1a hash h.
+// The encoding mirrors appendKey: it starts with the kind tag and, for
+// strings, includes the length before the bytes, so that the hash of a
+// value sequence is prefix-free. Unlike appendKey it allocates nothing.
+func (v Value) hashKey(h uint64) uint64 {
+	h = (h ^ uint64(v.kind)) * fnvPrime64
+	switch v.kind {
+	case KindInt:
+		h = hashUint64(h, uint64(v.i))
+	case KindFloat:
+		h = hashUint64(h, math.Float64bits(v.f))
+	case KindString:
+		h = hashUint64(h, uint64(len(v.s)))
+		for i := 0; i < len(v.s); i++ {
+			h = (h ^ uint64(v.s[i])) * fnvPrime64
+		}
+	}
+	return h
+}
+
+func hashUint64(h, u uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (u & 0xff)) * fnvPrime64
+		u >>= 8
+	}
+	return h
+}
+
+// keyEqual reports whether v and o have identical key encodings: the exact
+// equality hashKey (and appendKey) discriminate by. It is stricter than
+// Equal — Int(2) and Float(2) compare Equal but have distinct keys, and
+// NULLs (which compare Equal) are keyEqual too.
+func (v Value) keyEqual(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return math.Float64bits(v.f) == math.Float64bits(o.f)
+	case KindString:
+		return v.s == o.s
+	default:
+		return true
 	}
 }
 
