@@ -19,6 +19,13 @@
 //	\help                      show the dialect summary
 //	\q                         quit
 //
+// EXPLAIN ANALYZE executes the query and annotates every operator with
+// actual rows and wall time (inclusive, Open time broken out), plus
+// strategy-level stage counters: window-pipeline windows/batches under
+// NJ, alignment passes/fragments under TA, partitions/workers under PNJ.
+// A query aborted by a timeout reports the abort reason on the
+// interrupted node.
+//
 // WHERE clauses may reference the pseudo-columns P (tuple probability),
 // Tstart and Tend besides the fact attributes. Example session:
 //

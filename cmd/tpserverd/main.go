@@ -15,9 +15,12 @@
 // Every connection is an isolated session: `SET strategy = ta` on one
 // session never affects another, while CREATE TABLE ... AS, \load and
 // \drop act on the shared catalog and are immediately visible to all
-// sessions. Each query runs under a context deadline (-timeout, overridable
-// per request up to -max-timeout); `\metrics` returns Prometheus-style
-// counters (queries served, rows returned, timeouts, active sessions).
+// sessions. Each query runs under a context deadline (-timeout,
+// overridable per request up to -max-timeout) that also interrupts the
+// blocking TA/PNJ join strategies mid-Open; `\metrics` returns
+// Prometheus-style counters (queries served, rows returned, timeouts,
+// active sessions, per-strategy throughput and per-operator EXPLAIN
+// ANALYZE aggregates).
 //
 // By default the paper's Fig. 1a relations a and b are preloaded; -gen
 // additionally registers synthetic workloads under w_r/w_s (webkit) and

@@ -31,6 +31,7 @@
 package align
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -47,6 +48,26 @@ type Config struct {
 	// paper's evaluation. When false, equi conditions are hash-partitioned.
 	NestedLoop bool
 }
+
+// Stats accounts one TA join for EXPLAIN ANALYZE: how many aligned
+// fragments the alignment passes produced and how many times the
+// alignment (both conventional joins) ran — joins with negation re-run it
+// per sub-query, which is exactly the redundancy the paper measures.
+type Stats struct {
+	// Fragments is the total fragment count across alignment passes.
+	Fragments int64
+	// AlignPasses is how many times the two conventional joins ran.
+	AlignPasses int64
+	// Rows is the output row count before the duplicate-eliminating
+	// union.
+	Rows int64
+}
+
+// alignCancelCheck is how many outer tuples an alignment pass processes
+// between context checks. The per-tuple work of the two conventional
+// joins dwarfs the (atomic-load) check, so cancellation bites within a
+// few tuples' worth of work without showing up in profiles.
+const alignCancelCheck = 64
 
 // Fragment is one aligned piece of an outer tuple together with the inner
 // tuples covering it. It corresponds to one replicated tuple of the TODS
@@ -118,10 +139,23 @@ func (ix *indexedInner) candidates(f tp.Fact) []int {
 // matching inner tuples (join 2). The fragments of each outer tuple
 // partition its validity interval.
 func Align(r, s *tp.Relation, theta tp.Theta, cfg Config) []Fragment {
+	out, _ := alignCtx(context.Background(), r, s, theta, cfg)
+	return out
+}
+
+// alignCtx is Align under a query context: the outer loop observes ctx
+// every alignCancelCheck tuples, so a timeout or disconnect aborts the
+// blocking alignment mid-pass instead of running it to completion.
+func alignCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config) ([]Fragment, error) {
 	ix := buildInner(s, theta, cfg)
 	var out []Fragment
 
 	for ri := range r.Tuples {
+		if ri%alignCancelCheck == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rt := &r.Tuples[ri]
 
 		// Conventional join 1: collect the split points of the matching,
@@ -156,7 +190,7 @@ func Align(r, s *tp.Relation, theta tp.Theta, cfg Config) []Fragment {
 			out = append(out, frag)
 		}
 	}
-	return out
+	return out, nil
 }
 
 func dedupTimes(ts []interval.Time) []interval.Time {
@@ -180,8 +214,21 @@ type row struct {
 // outerRows is sub-query A of the TA reduction: the aligned outer join.
 // It produces the pairing fragments and the unmatched fragments.
 func outerRows(r, s *tp.Relation, theta tp.Theta, cfg Config, mirror bool) []row {
+	rows, _ := outerRowsCtx(context.Background(), r, s, theta, cfg, mirror, nil)
+	return rows
+}
+
+func outerRowsCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, mirror bool, stats *Stats) ([]row, error) {
+	frags, err := alignCtx(ctx, r, s, theta, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		stats.AlignPasses++
+		stats.Fragments += int64(len(frags))
+	}
 	var rows []row
-	for _, f := range Align(r, s, theta, cfg) {
+	for _, f := range frags {
 		rt := &r.Tuples[f.RID]
 		if len(f.Cover) == 0 {
 			fact := rt.Fact.Concat(tp.Nulls(s.Arity()))
@@ -200,7 +247,7 @@ func outerRows(r, s *tp.Relation, theta tp.Theta, cfg Config, mirror bool) []row
 			rows = append(rows, row{fact: fact, lam: lineage.And(rt.Lineage, st.Lineage), t: f.T, pair: true})
 		}
 	}
-	return rows
+	return rows, nil
 }
 
 // negRows is sub-query B of the TA reduction: the negated part. It aligns
@@ -208,8 +255,21 @@ func outerRows(r, s *tp.Relation, theta tp.Theta, cfg Config, mirror bool) []row
 // negated fragments — and, unavoidably, the unmatched fragments a second
 // time; the final union removes those duplicates.
 func negRows(r, s *tp.Relation, theta tp.Theta, cfg Config, mirror, antiSchema bool) []row {
+	rows, _ := negRowsCtx(context.Background(), r, s, theta, cfg, mirror, antiSchema, nil)
+	return rows
+}
+
+func negRowsCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, mirror, antiSchema bool, stats *Stats) ([]row, error) {
+	frags, err := alignCtx(ctx, r, s, theta, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		stats.AlignPasses++
+		stats.Fragments += int64(len(frags))
+	}
 	var rows []row
-	for _, f := range Align(r, s, theta, cfg) {
+	for _, f := range frags {
 		rt := &r.Tuples[f.RID]
 		fact := rt.Fact.Concat(tp.Nulls(s.Arity()))
 		switch {
@@ -228,7 +288,7 @@ func negRows(r, s *tp.Relation, theta tp.Theta, cfg Config, mirror, antiSchema b
 		}
 		rows = append(rows, row{fact: fact, lam: lineage.AndNot(rt.Lineage, lineage.Or(parts...)), t: f.T})
 	}
-	return rows
+	return rows, nil
 }
 
 // unionDistinct implements the duplicate-eliminating union the paper
@@ -279,50 +339,114 @@ func joinAttrs(r, s *tp.Relation) []string {
 // InnerJoin computes r ⋈Tp s with the alignment strategy: only the
 // pairing rows of the aligned outer join.
 func InnerJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
+	out, _ := innerJoinCtx(context.Background(), r, s, theta, cfg, nil)
+	return out
+}
+
+func innerJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
+	outer, err := outerRowsCtx(ctx, r, s, theta, cfg, false, stats)
+	if err != nil {
+		return nil, err
+	}
 	var rows []row
-	for _, rw := range outerRows(r, s, theta, cfg, false) {
+	for _, rw := range outer {
 		if rw.pair {
 			rows = append(rows, rw)
 		}
 	}
-	rows = unionDistinct(rows)
-	return finish(fmt.Sprintf("%s_join_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows)
+	rows = dedup(rows, stats)
+	return finish(fmt.Sprintf("%s_join_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows), nil
 }
 
 // AntiJoin computes r ▷Tp s with the alignment strategy: only sub-query B,
 // over r's schema.
 func AntiJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
-	rows := unionDistinct(negRows(r, s, theta, cfg, false, true))
+	out, _ := antiJoinCtx(context.Background(), r, s, theta, cfg, nil)
+	return out
+}
+
+func antiJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
+	neg, err := negRowsCtx(ctx, r, s, theta, cfg, false, true, stats)
+	if err != nil {
+		return nil, err
+	}
+	rows := dedup(neg, stats)
 	return finish(fmt.Sprintf("%s_anti_%s", r.Name, s.Name),
-		append([]string(nil), r.Attrs...), tp.MergeProbs(r, s), rows)
+		append([]string(nil), r.Attrs...), tp.MergeProbs(r, s), rows), nil
 }
 
 // LeftOuterJoin computes r ⟕Tp s with the alignment strategy: sub-queries
 // A and B, both re-running the conventional joins, combined by the
 // duplicate-eliminating union.
 func LeftOuterJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
-	rows := outerRows(r, s, theta, cfg, false)
-	rows = append(rows, negRows(r, s, theta, cfg, false, false)...)
-	rows = unionDistinct(rows)
-	return finish(fmt.Sprintf("%s_louter_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows)
+	out, _ := leftOuterJoinCtx(context.Background(), r, s, theta, cfg, nil)
+	return out
+}
+
+func leftOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
+	rows, err := outerRowsCtx(ctx, r, s, theta, cfg, false, stats)
+	if err != nil {
+		return nil, err
+	}
+	neg, err := negRowsCtx(ctx, r, s, theta, cfg, false, false, stats)
+	if err != nil {
+		return nil, err
+	}
+	rows = dedup(append(rows, neg...), stats)
+	return finish(fmt.Sprintf("%s_louter_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows), nil
 }
 
 // RightOuterJoin computes r ⟖Tp s: the mirrored left outer join.
 func RightOuterJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
-	rows := outerRows(s, r, tp.Swap(theta), cfg, true)
-	rows = append(rows, negRows(s, r, tp.Swap(theta), cfg, true, false)...)
-	rows = unionDistinct(rows)
-	return finish(fmt.Sprintf("%s_router_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows)
+	out, _ := rightOuterJoinCtx(context.Background(), r, s, theta, cfg, nil)
+	return out
+}
+
+func rightOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
+	rows, err := outerRowsCtx(ctx, s, r, tp.Swap(theta), cfg, true, stats)
+	if err != nil {
+		return nil, err
+	}
+	neg, err := negRowsCtx(ctx, s, r, tp.Swap(theta), cfg, true, false, stats)
+	if err != nil {
+		return nil, err
+	}
+	rows = dedup(append(rows, neg...), stats)
+	return finish(fmt.Sprintf("%s_router_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows), nil
 }
 
 // FullOuterJoin computes r ⟗Tp s: pairings from the forward direction,
 // negated/unmatched fragments from both, unioned with dedup.
 func FullOuterJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
-	rows := outerRows(r, s, theta, cfg, false)
-	rows = append(rows, negRows(r, s, theta, cfg, false, false)...)
-	rows = append(rows, negRows(s, r, tp.Swap(theta), cfg, true, false)...)
-	rows = unionDistinct(rows)
-	return finish(fmt.Sprintf("%s_fouter_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows)
+	out, _ := fullOuterJoinCtx(context.Background(), r, s, theta, cfg, nil)
+	return out
+}
+
+func fullOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
+	rows, err := outerRowsCtx(ctx, r, s, theta, cfg, false, stats)
+	if err != nil {
+		return nil, err
+	}
+	neg, err := negRowsCtx(ctx, r, s, theta, cfg, false, false, stats)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, neg...)
+	neg, err = negRowsCtx(ctx, s, r, tp.Swap(theta), cfg, true, false, stats)
+	if err != nil {
+		return nil, err
+	}
+	rows = dedup(append(rows, neg...), stats)
+	return finish(fmt.Sprintf("%s_fouter_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows), nil
+}
+
+// dedup records the pre-union row count and applies the
+// duplicate-eliminating union.
+func dedup(rows []row, stats *Stats) []row {
+	if stats != nil {
+		stats.Rows += int64(len(rows))
+	}
+	return unionDistinct(rows)
 }
 
 // CountWUO runs sub-query A (the aligned outer join) and returns the
@@ -344,17 +468,29 @@ func CountNegating(r, s *tp.Relation, theta tp.Theta, cfg Config) int {
 
 // Join dispatches on the operator.
 func Join(op tp.Op, r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
+	out, _ := JoinContext(context.Background(), op, r, s, theta, cfg, nil)
+	return out
+}
+
+// JoinContext is Join under a query context: the alignment passes (the
+// blocking part of the baseline) observe ctx every alignCancelCheck outer
+// tuples, so a per-query timeout or client disconnect aborts the
+// materializing Open mid-alignment instead of running both conventional
+// joins to completion. On cancellation the result is nil and the error is
+// ctx.Err(). A non-nil stats additionally accounts fragments, alignment
+// passes and pre-union rows for EXPLAIN ANALYZE.
+func JoinContext(ctx context.Context, op tp.Op, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
 	switch op {
 	case tp.OpInner:
-		return InnerJoin(r, s, theta, cfg)
+		return innerJoinCtx(ctx, r, s, theta, cfg, stats)
 	case tp.OpAnti:
-		return AntiJoin(r, s, theta, cfg)
+		return antiJoinCtx(ctx, r, s, theta, cfg, stats)
 	case tp.OpLeft:
-		return LeftOuterJoin(r, s, theta, cfg)
+		return leftOuterJoinCtx(ctx, r, s, theta, cfg, stats)
 	case tp.OpRight:
-		return RightOuterJoin(r, s, theta, cfg)
+		return rightOuterJoinCtx(ctx, r, s, theta, cfg, stats)
 	case tp.OpFull:
-		return FullOuterJoin(r, s, theta, cfg)
+		return fullOuterJoinCtx(ctx, r, s, theta, cfg, stats)
 	default:
 		panic(fmt.Sprintf("align: unknown operator %v", op))
 	}

@@ -31,14 +31,19 @@ type Record struct {
 }
 
 // Run is one measured sweep: a label (typically the PR or commit the
-// numbers belong to), the environment, and the records.
+// numbers belong to), the environment, and the records. The environment
+// fields (Go version, OS/arch, CPU count and GOMAXPROCS — the latter
+// bounds the PNJ worker pool, so two runs with equal CPUs but different
+// GOMAXPROCS are not comparable on Fig. 7) make BENCH_*.json runs
+// comparable across machines; TestRunEnvironmentMetadata pins them.
 type Run struct {
-	Label     string   `json:"label"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Records   []Record `json:"records"`
+	Label      string   `json:"label"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Records    []Record `json:"records"`
 }
 
 // File is the on-disk shape of a BENCH_<n>.json: one or more runs (e.g.
@@ -75,11 +80,12 @@ func record(figure, ds, series string, n int, res testing.BenchmarkResult) Recor
 // because the paper has no parallel baseline.
 func CollectJSON(figs, datasets []string, opt Options, label string) Run {
 	run := Run{
-		Label:     label,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, fig := range figs {
 		for _, ds := range datasets {

@@ -7,6 +7,11 @@
 // the protocol's strict request/response ordering. Use one Client per
 // goroutine — or rely on the internal mutex, which makes concurrent
 // Query calls safe but sequential.
+//
+// EXPLAIN ANALYZE responses carry the structured per-operator tree in
+// Response.Plan (rows, wall time, strategy stage counters and, for a
+// query aborted by its timeout, the abort reason) besides the rendered
+// text in Response.Message.
 package client
 
 import (

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"tpjoin/internal/window"
+)
+
+// This file is the window-pipeline side of EXPLAIN ANALYZE: a counting
+// iterator that interposes between pipeline stages (OverlapJoin → LAWAU →
+// LAWAN) and accounts windows and batch hops per stage. The counters are
+// plain fields written by the single goroutine that owns the pipeline;
+// nothing here runs unless instrumentation was explicitly requested, so
+// the hot path of an uninstrumented join is untouched.
+
+// StageStats accounts one window-pipeline stage under EXPLAIN ANALYZE:
+// how many windows left the stage and in how many batch hops (a scalar
+// Next call counts as a batch of one). The ratio Windows/Batches shows
+// how full the batched transport runs; a stage stuck near 1 is pulling
+// scalar.
+type StageStats struct {
+	// Name identifies the stage, e.g. "overlap", "lawau", "lawan"; the
+	// mirrored phase of a full outer join appends "/mirror".
+	Name string
+	// Windows is the number of windows the stage emitted.
+	Windows int64
+	// Batches is the number of Next/NextBatch calls that returned at
+	// least one window.
+	Batches int64
+}
+
+// JoinInstr collects the per-stage accounting of one instrumented NJ
+// window pipeline. Stages appear in pipeline order (upstream first); a
+// full outer join contributes the mirrored phase's stages after the
+// forward phase's.
+type JoinInstr struct {
+	Stages []*StageStats
+}
+
+// stage wraps it with a counting iterator feeding a new named StageStats.
+func (ji *JoinInstr) stage(name string, it Iterator) Iterator {
+	st := &StageStats{Name: name}
+	ji.Stages = append(ji.Stages, st)
+	return &countingIterator{it: it, st: st}
+}
+
+// countingIterator forwards Next/NextBatch to the wrapped iterator,
+// accounting emitted windows and batch hops. It implements BatchIterator
+// so interposing it keeps the batched transport intact.
+type countingIterator struct {
+	it Iterator
+	st *StageStats
+}
+
+func (c *countingIterator) Next() (window.Window, bool) {
+	w, ok := c.it.Next()
+	if ok {
+		c.st.Windows++
+		c.st.Batches++
+	}
+	return w, ok
+}
+
+// NextBatch implements BatchIterator.
+func (c *countingIterator) NextBatch(buf []window.Window) int {
+	n := NextBatch(c.it, buf)
+	if n > 0 {
+		c.st.Windows += int64(n)
+		c.st.Batches++
+	}
+	return n
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"tpjoin/internal/lineage"
@@ -36,7 +37,18 @@ type TupleIterator interface {
 // batches (BatchSize at a time); the produced tuples are identical to the
 // scalar reference path (ScalarJoinStream).
 func JoinStream(op tp.Op, r, s *tp.Relation, theta tp.Theta) (TupleIterator, []string) {
-	return joinStreamWithProbs(op, r, s, theta, tp.MergeProbs(r, s), true)
+	return joinStreamWithProbs(op, r, s, theta, tp.MergeProbs(r, s), true, nil)
+}
+
+// JoinStreamInstrumented is JoinStream with per-stage accounting: every
+// window-pipeline stage is wrapped in a counting iterator and the returned
+// JoinInstr exposes windows/batches per stage (EXPLAIN ANALYZE reads it
+// after draining the stream). The counting wrappers only exist on this
+// path; plain JoinStream stays allocation- and indirection-free.
+func JoinStreamInstrumented(op tp.Op, r, s *tp.Relation, theta tp.Theta) (TupleIterator, []string, *JoinInstr) {
+	instr := &JoinInstr{}
+	it, attrs := joinStreamWithProbs(op, r, s, theta, tp.MergeProbs(r, s), true, instr)
+	return it, attrs, instr
 }
 
 // ScalarJoinStream is JoinStream with the batched window transport
@@ -44,45 +56,64 @@ func JoinStream(op tp.Op, r, s *tp.Relation, theta tp.Theta) (TupleIterator, []s
 // reference implementation the batched path is validated against
 // (TestBatchScalarEquivalence) and exists only for that purpose.
 func ScalarJoinStream(op tp.Op, r, s *tp.Relation, theta tp.Theta) (TupleIterator, []string) {
-	return joinStreamWithProbs(op, r, s, theta, tp.MergeProbs(r, s), false)
+	return joinStreamWithProbs(op, r, s, theta, tp.MergeProbs(r, s), false, nil)
 }
 
 // joinStreamWithProbs is JoinStream with a pre-merged base-event
 // probability map, letting callers that evaluate many partitioned joins
-// over the same database (ParallelJoin) amortize the merge.
-func joinStreamWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs, batch bool) (TupleIterator, []string) {
+// over the same database (ParallelJoin) amortize the merge. A non-nil
+// instr interposes counting wrappers between the pipeline stages
+// (EXPLAIN ANALYZE); nil leaves the stages directly connected.
+func joinStreamWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs, batch bool, instr *JoinInstr) (TupleIterator, []string) {
 	attrs := joinAttrs(r, s)
+	// pipeline assembles one phase's window stages, wrapping each in a
+	// counting iterator when instrumented. suffix distinguishes the
+	// mirrored phase of a full outer join.
+	pipeline := func(base Iterator, suffix string, negating bool) Iterator {
+		if instr == nil {
+			if !negating {
+				return base
+			}
+			return LAWAN(LAWAU(base))
+		}
+		it := instr.stage("overlap"+suffix, base)
+		if !negating {
+			return it
+		}
+		it = instr.stage("lawau"+suffix, LAWAU(it))
+		return instr.stage("lawan"+suffix, LAWAN(it))
+	}
 	var phases []phase
 	switch op {
 	case tp.OpInner:
 		phases = []phase{{
-			it:   OverlapJoin(r, s, theta),
+			it:   pipeline(OverlapJoin(r, s, theta), "", false),
 			opts: emitOpts{keepOverlap: true, sArity: s.Arity()},
 		}}
 	case tp.OpAnti:
 		attrs = append([]string(nil), r.Attrs...)
 		phases = []phase{{
-			it:   LAWAN(LAWAU(OverlapJoin(r, s, theta))),
+			it:   pipeline(OverlapJoin(r, s, theta), "", true),
 			opts: emitOpts{keepUnmatched: true, keepNegating: true, antiSchema: true, sArity: s.Arity()},
 		}}
 	case tp.OpLeft:
 		phases = []phase{{
-			it:   LAWAN(LAWAU(OverlapJoin(r, s, theta))),
+			it:   pipeline(OverlapJoin(r, s, theta), "", true),
 			opts: emitOpts{keepOverlap: true, keepUnmatched: true, keepNegating: true, sArity: s.Arity()},
 		}}
 	case tp.OpRight:
 		phases = []phase{{
-			it:   LAWAN(LAWAU(OverlapJoin(s, r, tp.Swap(theta)))),
+			it:   pipeline(OverlapJoin(s, r, tp.Swap(theta)), "", true),
 			opts: emitOpts{keepOverlap: true, keepUnmatched: true, keepNegating: true, mirror: true, sArity: r.Arity()},
 		}}
 	case tp.OpFull:
 		phases = []phase{
 			{
-				it:   LAWAN(LAWAU(OverlapJoin(r, s, theta))),
+				it:   pipeline(OverlapJoin(r, s, theta), "", true),
 				opts: emitOpts{keepOverlap: true, keepUnmatched: true, keepNegating: true, sArity: s.Arity()},
 			},
 			{
-				it:   LAWAN(LAWAU(OverlapJoin(s, r, tp.Swap(theta)))),
+				it:   pipeline(OverlapJoin(s, r, tp.Swap(theta)), "/mirror", true),
 				opts: emitOpts{keepUnmatched: true, keepNegating: true, mirror: true, sArity: r.Arity()},
 			},
 		}
@@ -99,19 +130,38 @@ func Join(op tp.Op, r, s *tp.Relation, theta tp.Theta) *tp.Relation {
 }
 
 func joinWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs, batch bool) *tp.Relation {
-	it, attrs := joinStreamWithProbs(op, r, s, theta, probs, batch)
+	out, _ := drainJoinCtx(context.Background(), op, r, s, theta, probs, batch, nil)
+	return out
+}
+
+// drainJoinCtx materializes the join stream into a relation, observing
+// ctx every cancelCheck tuples (trivial for the Background context, so
+// the uncancellable callers above pay nothing measurable). It is the
+// single drain loop shared by the sequential joins and the PNJ partition
+// workers; a non-nil st additionally accounts the produced tuples.
+func drainJoinCtx(ctx context.Context, op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs, batch bool, st *ParallelStats) (*tp.Relation, error) {
+	it, attrs := joinStreamWithProbs(op, r, s, theta, probs, batch, nil)
 	out := &tp.Relation{
 		Name:  fmt.Sprintf("%s_%s_%s", r.Name, opTag(op), s.Name),
 		Attrs: attrs,
 		Probs: probs,
 	}
-	for {
+	for n := 0; ; n++ {
+		if n%cancelCheck == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t, ok := it.Next()
 		if !ok {
-			return out
+			break
 		}
 		out.Tuples = append(out.Tuples, t)
 	}
+	if st != nil {
+		st.Tuples.Add(int64(out.Len()))
+	}
+	return out, nil
 }
 
 // InnerJoin computes r ⋈Tp s: output tuples for the overlapping windows only.

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"tpjoin/internal/tp"
 )
@@ -19,7 +21,20 @@ import (
 // to the paper's operators; the sweep algorithms themselves stay strictly
 // sequential per partition, as their correctness depends on group order.
 func ParallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int) *tp.Relation {
-	return parallelJoin(op, r, s, eq, workers, true)
+	out, _ := parallelJoinCtx(context.Background(), op, r, s, eq, workers, true, nil)
+	return out
+}
+
+// ParallelJoinContext is ParallelJoin under a query context: the partition
+// workers observe ctx between partitions and every cancelCheck tuples
+// while draining one, so a timeout or client disconnect aborts the
+// materializing Open mid-build instead of running every partition to
+// completion. On cancellation all workers are joined before returning, so
+// no partition goroutine outlives the call; the result is nil and the
+// error is ctx.Err(). A non-nil st additionally accounts partitions and
+// output tuples for EXPLAIN ANALYZE.
+func ParallelJoinContext(ctx context.Context, op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int, st *ParallelStats) (*tp.Relation, error) {
+	return parallelJoinCtx(ctx, op, r, s, eq, workers, true, st)
 }
 
 // MaxWorkers bounds the goroutine and partition count regardless of the
@@ -27,10 +42,38 @@ func ParallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int) *tp
 // so rejected values never reach the executor.
 const MaxWorkers = 1024
 
-// parallelJoin is ParallelJoin with the batched window transport made
-// explicit, so tests can pin batch/scalar equality of the partitioned
-// executor too.
+// cancelCheck is how many tuples a partition worker drains between
+// context checks: frequent enough that cancellation bites within
+// microseconds, rare enough that the (atomic-load) check never shows in
+// profiles.
+const cancelCheck = 256
+
+// ParallelStats accounts one ParallelJoin run for EXPLAIN ANALYZE. The
+// fields are written by the partition workers through atomics; read them
+// only after the join returned.
+type ParallelStats struct {
+	// Workers is the effective worker count after defaulting and capping.
+	Workers int64
+	// Partitions is the total partition count (workers × 4).
+	Partitions int64
+	// PartitionsDone is how many partitions completed; under an aborted
+	// run it shows how far the join got before cancellation.
+	PartitionsDone atomic.Int64
+	// Tuples is the number of output tuples produced across partitions
+	// (counted even for partitions whose results were discarded by a
+	// later abort).
+	Tuples atomic.Int64
+}
+
+// parallelJoin is ParallelJoinContext with the batched window transport
+// made explicit, so tests can pin batch/scalar equality of the
+// partitioned executor too.
 func parallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int, batch bool) *tp.Relation {
+	out, _ := parallelJoinCtx(context.Background(), op, r, s, eq, workers, batch, nil)
+	return out
+}
+
+func parallelJoinCtx(ctx context.Context, op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int, batch bool, st *ParallelStats) (*tp.Relation, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -40,6 +83,10 @@ func parallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int, bat
 	parts := workers * 4 // over-partition to smooth skew
 	if parts < 1 {
 		parts = 1
+	}
+	if st != nil {
+		st.Workers = int64(workers)
+		st.Partitions = int64(parts)
 	}
 
 	rParts := partition(r, eq.RCols, parts)
@@ -51,6 +98,7 @@ func parallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int, bat
 
 	results := make([]*tp.Relation, parts)
 	var wg sync.WaitGroup
+	var aborted atomic.Bool
 	sem := make(chan struct{}, workers)
 	for p := 0; p < parts; p++ {
 		wg.Add(1)
@@ -58,10 +106,31 @@ func parallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int, bat
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[p] = joinWithProbs(op, rParts[p], sParts[p], eq, merged, batch)
+			// Observe cancellation between partitions: once the context
+			// is done no further partition starts, so a query over many
+			// partitions aborts after the in-flight ones.
+			if aborted.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				aborted.Store(true)
+				return
+			}
+			res, err := drainJoinCtx(ctx, op, rParts[p], sParts[p], eq, merged, batch, st)
+			if err != nil {
+				aborted.Store(true)
+				return
+			}
+			results[p] = res
+			if st != nil {
+				st.PartitionsDone.Add(1)
+			}
 		}(p)
 	}
 	wg.Wait()
+	if aborted.Load() {
+		return nil, ctx.Err()
+	}
 
 	out := &tp.Relation{
 		Name:  fmt.Sprintf("%s_%s_%s", r.Name, opTag(op), s.Name),
@@ -76,7 +145,7 @@ func parallelJoin(op tp.Op, r, s *tp.Relation, eq tp.EquiTheta, workers int, bat
 	for _, res := range results {
 		out.Tuples = append(out.Tuples, res.Tuples...)
 	}
-	return out
+	return out, nil
 }
 
 // partition splits rel into parts sub-relations by the hash of the join

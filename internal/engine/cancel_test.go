@@ -1,0 +1,106 @@
+package engine
+
+// Cancellation regression tests for the blocking join strategies: TA and
+// PNJ materialize their result at Open, and before the query context was
+// propagated into them a per-query timeout only fired at the next tuple
+// boundary — i.e. after the whole blocking Open ran to completion
+// (minutes on the large Meteo workloads). These tests pin the contract
+// that a context cancelled mid-Open surfaces as context.Canceled /
+// DeadlineExceeded within a tight deadline, and that no partition worker
+// goroutine outlives a cancelled PNJ.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"tpjoin/internal/align"
+	"tpjoin/internal/dataset"
+	"tpjoin/internal/tp"
+)
+
+// cancelGrace is how long after cancellation a blocking Open may take to
+// surface the context error. The uncancelled joins below run for several
+// seconds (see BENCH_1.json: TA meteo-20000 ≈ 9 s, NJ meteo-20000 ≈ 2 s
+// single-threaded), so returning within the grace proves the abort
+// happened mid-Open, not at completion. Generous because CI machines are
+// slow, strict enough to be meaningless if the strategy ignored ctx.
+const cancelGrace = 2 * time.Second
+
+// cancelAfter is the head start the blocking Open gets before the
+// context fires, enough to be deep inside the materialization.
+const cancelAfter = 100 * time.Millisecond
+
+func requireCtxErr(t *testing.T, label string, err error, elapsed time.Duration) {
+	t.Helper()
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("%s: err = %v, want context.Canceled or DeadlineExceeded (join finished before the cancel? elapsed %v)",
+			label, err, elapsed)
+	}
+	if elapsed > cancelAfter+cancelGrace {
+		t.Fatalf("%s: took %v to observe cancellation, want ≤ %v after the cancel",
+			label, elapsed, cancelGrace)
+	}
+}
+
+// TestTACancelledMidOpen: a TA join over a large build side must abort
+// mid-alignment. Meteo at this size takes several seconds under TA
+// (non-selective θ, large per-key groups); the test cancels after 100 ms.
+func TestTACancelledMidOpen(t *testing.T) {
+	r, s := dataset.Meteo(20000, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), cancelAfter)
+	defer cancel()
+	j := NewTPJoin(tp.OpLeft, NewScan(r), NewScan(s), dataset.MeteoTheta(), StrategyTA, align.Config{})
+	start := time.Now()
+	_, err := RunContext(ctx, j, "out")
+	requireCtxErr(t, "TA", err, time.Since(start))
+}
+
+// TestPNJCancelledMidOpen: a PNJ with more than one worker must abort
+// between partition batches; the partition workers are joined before the
+// error returns, so no goroutine outlives the query (checked below).
+func TestPNJCancelledMidOpen(t *testing.T) {
+	r, s := dataset.Meteo(20000, 1)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), cancelAfter)
+	defer cancel()
+	j := NewTPJoin(tp.OpLeft, NewScan(r), NewScan(s), dataset.MeteoTheta(), StrategyPNJ, align.Config{})
+	j.SetWorkers(2)
+	start := time.Now()
+	_, err := RunContext(ctx, j, "out")
+	requireCtxErr(t, "PNJ", err, time.Since(start))
+
+	// Goroutine-leak check: the partition workers must be gone. NumGoroutine
+	// counts unrelated runtime goroutines too, so allow settling time and a
+	// small slack for background scavenging.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after cancelled PNJ: %d, want ≤ %d (+2 slack): partition workers leaked",
+				runtime.NumGoroutine(), before)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestExplainAnalyzeReportsAbort: the plan layer turns a mid-Open abort
+// into ANALYZE output rather than an error; here we only pin the engine
+// side — the join records the abort reason for the renderer.
+func TestJoinRecordsAbortReason(t *testing.T) {
+	r, s := dataset.Meteo(20000, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), cancelAfter)
+	defer cancel()
+	j := NewTPJoin(tp.OpLeft, NewScan(r), NewScan(s), dataset.MeteoTheta(), StrategyTA, align.Config{})
+	if _, err := RunContext(ctx, j, "out"); err == nil {
+		t.Fatal("expected a context error")
+	}
+	if err := j.AbortErr(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AbortErr = %v, want DeadlineExceeded", err)
+	}
+}

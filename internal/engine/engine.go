@@ -63,15 +63,16 @@ const cancelCheckInterval = 256
 
 // RunContext drains op into a relation named name, opening and closing
 // it, and aborts with ctx.Err() when the context is cancelled or its
-// deadline passes. Cancellation is observed before Open and then every
-// cancelCheckInterval tuples; a blocking Open (the TA baseline and the
-// PNJ partition barrier both materialize there) is only interrupted at
-// the next tuple boundary — a long-running blocking strategy runs its
-// Open to completion before the deadline error surfaces.
+// deadline passes. Cancellation is observed before Open, inside blocking
+// Opens (ctx is bound over the tree first, so the TA baseline checks it
+// between alignment batches and the PNJ partition workers between
+// partitions — see ContextBinder), and then every cancelCheckInterval
+// tuples while draining.
 func RunContext(ctx context.Context, op Operator, name string) (*tp.Relation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	BindContext(ctx, op)
 	if err := op.Open(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"tpjoin/internal/align"
@@ -61,10 +62,34 @@ type TPJoin struct {
 	taCfg    align.Config
 	workers  int // PNJ worker count; 0 means GOMAXPROCS
 
+	// ctx is the query context bound by RunContext (see ContextBinder):
+	// the blocking strategies observe it during their materializing Open.
+	// nil means context.Background().
+	ctx context.Context
+	// instr enables strategy-level stage accounting (set by Instrument);
+	// abort records the context error that interrupted a blocking Open,
+	// for EXPLAIN ANALYZE's abort annotation.
+	instr bool
+	abort error
+
+	njInstr  *core.JoinInstr     // NJ stage counters (instr only)
+	taStats  *align.Stats        // TA alignment counters (instr only)
+	pnjStats *core.ParallelStats // PNJ partition counters (instr only)
+
 	stream core.TupleIterator // NJ
 	mat    *tp.Relation       // TA / PNJ
 	mi     int
 	probs  prob.Probs
+}
+
+// StageStat is one strategy-specific ANALYZE detail counter of a TPJoin —
+// a window-pipeline stage under NJ, an alignment counter under TA, a
+// partition counter under PNJ. Batches is only meaningful for batched
+// stages and is 0 otherwise.
+type StageStat struct {
+	Name    string
+	Count   int64
+	Batches int64
 }
 
 // NewTPJoin builds a TP join node over two children.
@@ -88,33 +113,99 @@ func (j *TPJoin) SetWorkers(n int) { j.workers = n }
 // Workers returns the configured PNJ worker count.
 func (j *TPJoin) Workers() int { return j.workers }
 
+// BindContext implements ContextBinder: the blocking strategies (TA, PNJ)
+// observe ctx during their materializing Open, so a per-query timeout or
+// client disconnect aborts mid-Open instead of at the next tuple
+// boundary.
+func (j *TPJoin) BindContext(ctx context.Context) { j.ctx = ctx }
+
+// AbortErr returns the context error that interrupted the last Open, or
+// nil if it ran to completion. EXPLAIN ANALYZE reports it as the node's
+// abort reason.
+func (j *TPJoin) AbortErr() error { return j.abort }
+
 func (j *TPJoin) Open() error {
 	j.stats = Stats{}
 	j.stream = nil
 	j.mat = nil
 	j.mi = 0
-	r, err := childRelation(j.left, "l")
+	j.abort = nil
+	j.njInstr, j.taStats, j.pnjStats = nil, nil, nil
+	ctx := j.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r, err := childRelation(ctx, j.left, "l")
 	if err != nil {
+		j.abort = ctx.Err()
 		return err
 	}
-	s, err := childRelation(j.right, "r")
+	s, err := childRelation(ctx, j.right, "r")
 	if err != nil {
+		j.abort = ctx.Err()
 		return err
 	}
 	j.probs = tp.MergeProbs(r, s)
 	switch j.strategy {
 	case StrategyNJ:
-		j.stream, _ = core.JoinStream(j.op, r, s, j.theta)
+		if j.instr {
+			j.stream, _, j.njInstr = core.JoinStreamInstrumented(j.op, r, s, j.theta)
+		} else {
+			j.stream, _ = core.JoinStream(j.op, r, s, j.theta)
+		}
 	case StrategyTA:
-		j.mat = align.Join(j.op, r, s, j.theta, j.taCfg)
+		if j.instr {
+			j.taStats = &align.Stats{}
+		}
+		j.mat, err = align.JoinContext(ctx, j.op, r, s, j.theta, j.taCfg, j.taStats)
+		if err != nil {
+			j.abort = err
+			return err
+		}
 	case StrategyPNJ:
 		eq, ok := j.theta.(tp.EquiTheta)
 		if !ok {
 			return fmt.Errorf("engine: PNJ strategy requires an equi-join condition (got %T)", j.theta)
 		}
-		j.mat = core.ParallelJoin(j.op, r, s, eq, j.workers)
+		if j.instr {
+			j.pnjStats = &core.ParallelStats{}
+		}
+		j.mat, err = core.ParallelJoinContext(ctx, j.op, r, s, eq, j.workers, j.pnjStats)
+		if err != nil {
+			j.abort = err
+			return err
+		}
 	default:
 		return fmt.Errorf("engine: unknown join strategy %v", j.strategy)
+	}
+	return nil
+}
+
+// Stages returns the strategy-level ANALYZE detail counters of the last
+// run: window-pipeline stages (windows/batches) under NJ, alignment
+// passes/fragments/pre-union rows under TA, workers/partitions/tuples
+// under PNJ. It returns nil when the join was not instrumented.
+func (j *TPJoin) Stages() []StageStat {
+	switch {
+	case j.njInstr != nil:
+		out := make([]StageStat, 0, len(j.njInstr.Stages))
+		for _, st := range j.njInstr.Stages {
+			out = append(out, StageStat{Name: st.Name, Count: st.Windows, Batches: st.Batches})
+		}
+		return out
+	case j.taStats != nil:
+		return []StageStat{
+			{Name: "align-passes", Count: j.taStats.AlignPasses},
+			{Name: "fragments", Count: j.taStats.Fragments},
+			{Name: "pre-union rows", Count: j.taStats.Rows},
+		}
+	case j.pnjStats != nil:
+		return []StageStat{
+			{Name: "workers", Count: j.pnjStats.Workers},
+			{Name: "partitions", Count: j.pnjStats.Partitions},
+			{Name: "partitions-done", Count: j.pnjStats.PartitionsDone.Load()},
+			{Name: "partition-tuples", Count: j.pnjStats.Tuples.Load()},
+		}
 	}
 	return nil
 }
@@ -163,9 +254,11 @@ func (j *TPJoin) Probs() prob.Probs {
 // passes its relation through without copying (the common case, keeping
 // the NJ pipeline zero-copy); any other child is drained once into a
 // per-query temporary, marked Transient so downstream operators skip the
-// per-relation derived-structure caches for it.
-func childRelation(op Operator, tag string) (*tp.Relation, error) {
-	if sc, ok := op.(*Scan); ok {
+// per-relation derived-structure caches for it. The drain observes ctx
+// every cancelCheckInterval tuples, so a materializing Open over a large
+// subplan aborts promptly too.
+func childRelation(ctx context.Context, op Operator, tag string) (*tp.Relation, error) {
+	if sc, ok := bareScan(op); ok {
 		return sc.Relation(), nil
 	}
 	if err := op.Open(); err != nil {
@@ -178,7 +271,12 @@ func childRelation(op Operator, tag string) (*tp.Relation, error) {
 		Probs:     op.Probs(),
 		Transient: true,
 	}
-	for {
+	for n := 0; ; n++ {
+		if n%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t, ok, err := op.Next()
 		if err != nil {
 			return nil, err
@@ -188,4 +286,18 @@ func childRelation(op Operator, tag string) (*tp.Relation, error) {
 		}
 		out.Tuples = append(out.Tuples, t)
 	}
+}
+
+// bareScan unwraps the ANALYZE accounting decorator when looking for the
+// zero-copy Scan fast path: a scan input is borrowed without copying in
+// instrumented and plain execution alike, so EXPLAIN ANALYZE measures the
+// same plan a plain query runs (no input copies, no bypass of the
+// per-relation derived-structure caches). The borrowed scan node then
+// reports rows=0 — it was never pulled, which is exactly what happened.
+func bareScan(op Operator) (*Scan, bool) {
+	if i, ok := op.(*Instrumented); ok {
+		op = i.op
+	}
+	sc, ok := op.(*Scan)
+	return sc, ok
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"tpjoin/internal/core"
@@ -42,10 +43,15 @@ type TPSetOp struct {
 	left  Operator
 	right Operator
 
+	ctx   context.Context // bound by RunContext; nil = Background
 	mat   *tp.Relation
 	mi    int
 	probs prob.Probs
 }
+
+// BindContext implements ContextBinder: the materializing Open drains its
+// children under the query context.
+func (s *TPSetOp) BindContext(ctx context.Context) { s.ctx = ctx }
 
 // NewTPSetOp builds a set-operation node; the children must be
 // union-compatible (checked at Open).
@@ -62,11 +68,15 @@ func (s *TPSetOp) Children() []Operator { return []Operator{s.left, s.right} }
 func (s *TPSetOp) Open() error {
 	s.stats = Stats{}
 	s.mi = 0
-	r, err := childRelation(s.left, "l")
+	ctx := s.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r, err := childRelation(ctx, s.left, "l")
 	if err != nil {
 		return err
 	}
-	t, err := childRelation(s.right, "r")
+	t, err := childRelation(ctx, s.right, "r")
 	if err != nil {
 		return err
 	}
@@ -122,9 +132,13 @@ type LineageDistinct struct {
 	in   Operator
 	cols []int
 
+	ctx context.Context // bound by RunContext; nil = Background
 	mat *tp.Relation
 	mi  int
 }
+
+// BindContext implements ContextBinder.
+func (d *LineageDistinct) BindContext(ctx context.Context) { d.ctx = ctx }
 
 // NewLineageDistinct projects in to cols (named names) with TP duplicate
 // elimination.
@@ -147,7 +161,11 @@ func (d *LineageDistinct) Child() Operator { return d.in }
 func (d *LineageDistinct) Open() error {
 	d.stats = Stats{}
 	d.mi = 0
-	rel, err := childRelation(d.in, "d")
+	ctx := d.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rel, err := childRelation(ctx, d.in, "d")
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
 	"tpjoin/internal/prob"
@@ -26,6 +27,7 @@ type Sort struct {
 	base
 	in   Operator
 	less TupleLess
+	ctx  context.Context // bound by RunContext; nil = Background
 	buf  []tp.Tuple
 	i    int
 }
@@ -35,14 +37,27 @@ func NewSort(in Operator, less TupleLess) *Sort {
 	return &Sort{base: base{attrs: in.Attrs()}, in: in, less: less}
 }
 
+// BindContext implements ContextBinder: the materializing Open drains its
+// input under the query context.
+func (s *Sort) BindContext(ctx context.Context) { s.ctx = ctx }
+
 func (s *Sort) Open() error {
 	s.stats = Stats{}
 	s.buf = s.buf[:0]
 	s.i = 0
+	ctx := s.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.in.Open(); err != nil {
 		return err
 	}
-	for {
+	for n := 0; ; n++ {
+		if n%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		t, ok, err := s.in.Next()
 		if err != nil {
 			return err
@@ -77,6 +92,7 @@ func (s *Sort) Probs() prob.Probs { return s.in.Probs() }
 type Distinct struct {
 	base
 	in  Operator
+	ctx context.Context // bound by RunContext; nil = Background
 	buf []tp.Tuple
 	i   int
 }
@@ -86,14 +102,26 @@ func NewDistinct(in Operator) *Distinct {
 	return &Distinct{base: base{attrs: in.Attrs()}, in: in}
 }
 
+// BindContext implements ContextBinder.
+func (d *Distinct) BindContext(ctx context.Context) { d.ctx = ctx }
+
 func (d *Distinct) Open() error {
 	d.stats = Stats{}
 	d.buf = d.buf[:0]
 	d.i = 0
+	ctx := d.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := d.in.Open(); err != nil {
 		return err
 	}
-	for {
+	for n := 0; ; n++ {
+		if n%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		t, ok, err := d.in.Next()
 		if err != nil {
 			return err

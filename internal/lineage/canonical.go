@@ -1,0 +1,55 @@
+package lineage
+
+import (
+	"sort"
+	"strings"
+)
+
+// CanonicalString renders e like String, but with And/Or operand order
+// normalized: operands are sorted by their own canonical rendering, so
+// two structurally equal formulas (Equal treats And/Or operands as
+// multisets) produce identical bytes regardless of construction order.
+// The execution strategies build equal lineages in different operand
+// orders (e.g. NJ's sweep discovers the negated disjunction in end-point
+// order, TA's alignment in start order); the differential test harness
+// compares their results byte-for-byte through this form.
+func CanonicalString(e *Expr) string {
+	if e == nil {
+		return "null"
+	}
+	var b strings.Builder
+	canonRender(e, &b, 0)
+	return b.String()
+}
+
+func canonRender(e *Expr, b *strings.Builder, parentPrec int) {
+	prec := e.prec()
+	if prec < parentPrec {
+		b.WriteByte('(')
+		defer b.WriteByte(')')
+	}
+	switch e.kind {
+	case KindFalse:
+		b.WriteString("⊥")
+	case KindTrue:
+		b.WriteString("⊤")
+	case KindVar:
+		b.WriteString(e.v.String())
+	case KindNot:
+		b.WriteString("¬")
+		canonRender(e.kids[0], b, 3)
+	case KindAnd, KindOr:
+		childPrec, sep := 2, " ∧ "
+		if e.kind == KindOr {
+			childPrec, sep = 1, " ∨ "
+		}
+		parts := make([]string, len(e.kids))
+		for i, k := range e.kids {
+			var kb strings.Builder
+			canonRender(k, &kb, childPrec)
+			parts[i] = kb.String()
+		}
+		sort.Strings(parts)
+		b.WriteString(strings.Join(parts, sep))
+	}
+}

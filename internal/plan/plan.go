@@ -7,9 +7,12 @@ package plan
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"tpjoin/internal/align"
 	"tpjoin/internal/catalog"
@@ -452,75 +455,211 @@ func buildPredicate(conds []sql.Condition, b *binding) (engine.Predicate, error)
 	}, nil
 }
 
+// Node is one operator of an EXPLAIN [ANALYZE] plan tree. Desc is the
+// operator description (the line EXPLAIN prints); the counters are only
+// populated under ANALYZE. The JSON shape is the structured EXPLAIN
+// representation the query server puts on the wire.
+type Node struct {
+	Desc string `json:"desc"`
+	// Rows is the number of tuples the operator produced; TimeUS the
+	// inclusive wall time (operator + inputs) in microseconds; OpenUS
+	// the part of it spent in Open, where blocking operators do their
+	// work.
+	Rows   int64 `json:"rows"`
+	TimeUS int64 `json:"time_us"`
+	OpenUS int64 `json:"open_us,omitempty"`
+	// Stages are strategy-specific detail counters of a TP join: window
+	// pipeline stages under NJ, alignment counters under TA, partition
+	// counters under PNJ.
+	Stages []Stage `json:"stages,omitempty"`
+	// Abort is the context error that interrupted this operator's
+	// blocking Open, if any.
+	Abort    string  `json:"abort,omitempty"`
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Stage is one strategy-specific detail counter of an ANALYZE'd TP join.
+type Stage struct {
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	Batches int64  `json:"batches,omitempty"`
+}
+
+// Tree is a complete EXPLAIN [ANALYZE] result: the operator tree plus,
+// under ANALYZE, whole-query totals and the abort reason when the run was
+// cancelled mid-flight.
+type Tree struct {
+	Root    *Node `json:"root"`
+	Analyze bool  `json:"analyze,omitempty"`
+	// TotalUS is the wall time of the ANALYZE execution; AllocBytes the
+	// approximate heap allocation during it (process-wide delta, so
+	// concurrent queries inflate it).
+	TotalUS    int64 `json:"total_us,omitempty"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	// Abort is the context error that aborted the ANALYZE execution
+	// (timeout or cancellation); the per-operator counters then reflect
+	// the work done up to the abort.
+	Abort string `json:"abort,omitempty"`
+}
+
 // Explain renders the operator tree of a SELECT, annotated with the join
-// strategy. With analyze, the query is executed and per-operator row
-// counts are included.
+// strategy. With analyze, the query is executed and per-operator rows and
+// wall times are included.
 func Explain(sel *sql.Select, cat *catalog.Catalog, sess *Session, analyze bool) (string, error) {
 	return ExplainContext(context.Background(), sel, cat, sess, analyze)
 }
 
 // ExplainContext is Explain with a context governing the ANALYZE
-// execution: a cancelled context aborts the run and returns ctx.Err().
+// execution; see ExplainTree for the cancellation semantics.
 func ExplainContext(ctx context.Context, sel *sql.Select, cat *catalog.Catalog, sess *Session, analyze bool) (string, error) {
-	op, err := Build(sel, cat, sess)
+	t, err := ExplainTree(ctx, sel, cat, sess, analyze)
 	if err != nil {
 		return "", err
 	}
-	if analyze {
-		if _, err := engine.RunContext(ctx, op, "explain"); err != nil {
-			return "", err
-		}
-	}
-	var b strings.Builder
-	render(&b, op, 0, analyze)
-	return b.String(), nil
+	return t.Render(), nil
 }
 
-func render(b *strings.Builder, op engine.Operator, depth int, analyze bool) {
-	indent := strings.Repeat("  ", depth)
-	var desc string
+// ExplainTree compiles (and, with analyze, executes) a SELECT and returns
+// the structured plan tree. Under ANALYZE every operator is wrapped in an
+// accounting iterator (engine.Instrument) before execution, so the tree
+// carries actual rows, wall time and strategy-level stage counters; a
+// context cancellation or deadline during the run is not an error — the
+// tree is returned with the counters accumulated up to the abort and the
+// abort reason on Tree.Abort (and on the Node whose blocking Open was
+// interrupted). Without analyze the query is not executed.
+func ExplainTree(ctx context.Context, sel *sql.Select, cat *catalog.Catalog, sess *Session, analyze bool) (*Tree, error) {
+	op, err := Build(sel, cat, sess)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{Analyze: analyze}
+	if analyze {
+		root := engine.Instrument(op)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		_, runErr := engine.RunContext(ctx, root, "explain")
+		t.TotalUS = time.Since(start).Microseconds()
+		runtime.ReadMemStats(&after)
+		t.AllocBytes = int64(after.TotalAlloc - before.TotalAlloc)
+		if runErr != nil {
+			if !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+				return nil, runErr
+			}
+			t.Abort = runErr.Error()
+		}
+		op = root
+	}
+	t.Root = buildNode(op, analyze)
+	return t, nil
+}
+
+// buildNode converts one (possibly Instrumented) operator into its plan
+// node, recursing over the children.
+func buildNode(op engine.Operator, analyze bool) *Node {
+	inner := op
+	inst, _ := op.(*engine.Instrumented)
+	if inst != nil {
+		inner = inst.Inner()
+	}
+	n := &Node{}
 	var kids []engine.Operator
-	switch o := op.(type) {
+	switch o := inner.(type) {
 	case *engine.Scan:
-		desc = fmt.Sprintf("Scan %s (%d tuples)", o.Relation().Name, o.Relation().Len())
+		n.Desc = fmt.Sprintf("Scan %s (%d tuples)", o.Relation().Name, o.Relation().Len())
 	case *engine.Filter:
-		desc = "Filter"
+		n.Desc = "Filter"
 		kids = []engine.Operator{childOf(o)}
 	case *engine.Project:
-		desc = fmt.Sprintf("Project (%s)", strings.Join(op.Attrs(), ", "))
+		n.Desc = fmt.Sprintf("Project (%s)", strings.Join(inner.Attrs(), ", "))
 		kids = []engine.Operator{childOf(o)}
 	case *engine.Limit:
-		desc = "Limit"
+		n.Desc = "Limit"
 		kids = []engine.Operator{childOf(o)}
 	case *engine.TPJoin:
-		desc = fmt.Sprintf("TPJoin [%s] strategy=%s", joinName(o), o.Strategy())
+		n.Desc = fmt.Sprintf("TPJoin [%s] strategy=%s", joinName(o), o.Strategy())
 		if o.Strategy() == engine.StrategyPNJ {
 			if w := o.Workers(); w > 0 {
-				desc += fmt.Sprintf(" workers=%d", w)
+				n.Desc += fmt.Sprintf(" workers=%d", w)
 			} else {
-				desc += " workers=auto"
+				n.Desc += " workers=auto"
+			}
+		}
+		if analyze {
+			for _, st := range o.Stages() {
+				n.Stages = append(n.Stages, Stage{Name: st.Name, Count: st.Count, Batches: st.Batches})
+			}
+			if err := o.AbortErr(); err != nil {
+				n.Abort = err.Error()
 			}
 		}
 		kids = o.Children()
 	case *engine.TPSetOp:
-		desc = fmt.Sprintf("TPSetOp [%s]", o.Kind())
+		n.Desc = fmt.Sprintf("TPSetOp [%s]", o.Kind())
 		kids = o.Children()
 	case *engine.LineageDistinct:
-		desc = fmt.Sprintf("LineageDistinct (%s)", strings.Join(op.Attrs(), ", "))
+		n.Desc = fmt.Sprintf("LineageDistinct (%s)", strings.Join(inner.Attrs(), ", "))
 		kids = []engine.Operator{o.Child()}
 	default:
-		desc = fmt.Sprintf("%T", op)
+		n.Desc = fmt.Sprintf("%T", inner)
 	}
 	if analyze {
-		desc += fmt.Sprintf("  rows=%d", op.Stats().Rows)
+		if inst != nil {
+			st := inst.OpStats()
+			n.Rows = st.Rows
+			n.TimeUS = st.WallNanos / 1e3
+			n.OpenUS = st.OpenNanos / 1e3
+		} else {
+			n.Rows = inner.Stats().Rows
+		}
 	}
-	b.WriteString(indent)
-	b.WriteString(desc)
-	b.WriteByte('\n')
 	for _, k := range kids {
 		if k != nil {
-			render(b, k, depth+1, analyze)
+			n.Children = append(n.Children, buildNode(k, analyze))
 		}
+	}
+	return n
+}
+
+// Render writes the tree in EXPLAIN's indented text form; ANALYZE trees
+// include the actual rows/time columns, per-join stage lines and the
+// whole-query trailer.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	renderNode(&b, t.Root, 0, t.Analyze)
+	if t.Analyze {
+		fmt.Fprintf(&b, "total: time=%.3fms alloc=%dKB\n",
+			float64(t.TotalUS)/1e3, t.AllocBytes/1024)
+		if t.Abort != "" {
+			fmt.Fprintf(&b, "aborted: %s\n", t.Abort)
+		}
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, depth int, analyze bool) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	b.WriteString(n.Desc)
+	if analyze {
+		fmt.Fprintf(b, "  rows=%d time=%.3fms", n.Rows, float64(n.TimeUS)/1e3)
+		if n.OpenUS > 0 {
+			fmt.Fprintf(b, " open=%.3fms", float64(n.OpenUS)/1e3)
+		}
+		if n.Abort != "" {
+			fmt.Fprintf(b, " (aborted: %s)", n.Abort)
+		}
+	}
+	b.WriteByte('\n')
+	for _, st := range n.Stages {
+		fmt.Fprintf(b, "%s  stage %s: %d", indent, st.Name, st.Count)
+		if st.Batches > 0 {
+			fmt.Fprintf(b, " (batches=%d)", st.Batches)
+		}
+		b.WriteByte('\n')
+	}
+	for _, k := range n.Children {
+		renderNode(b, k, depth+1, analyze)
 	}
 }
 

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -414,5 +415,67 @@ func TestOrderByViaSQL(t *testing.T) {
 	st, _ := sql.Parse("SELECT * FROM b ORDER BY Nope")
 	if _, err := Build(st.(*sql.Select), cat, &Session{}); err == nil {
 		t.Errorf("unknown ORDER BY column must fail")
+	}
+}
+
+// TestExplainAnalyzeStructured pins the structured ANALYZE tree: rows and
+// wall time per node, strategy stage counters on the join, and their text
+// rendering.
+func TestExplainAnalyzeStructured(t *testing.T) {
+	cat := demoCatalog(t)
+	st, err := sql.Parse("EXPLAIN ANALYZE SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := ExplainTree(context.Background(), st.(*sql.Explain).Query, cat, &Session{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Analyze || tree.Root == nil {
+		t.Fatalf("malformed tree: %+v", tree)
+	}
+	if tree.Root.Rows != 7 {
+		t.Errorf("root rows = %d, want 7 (Fig. 1b left outer join)", tree.Root.Rows)
+	}
+	if len(tree.Root.Stages) != 3 {
+		t.Errorf("NJ join stages = %v, want overlap/lawau/lawan", tree.Root.Stages)
+	}
+	if len(tree.Root.Children) != 2 {
+		t.Fatalf("join children = %d, want 2 scans", len(tree.Root.Children))
+	}
+	// Scan inputs of a join are borrowed zero-copy (never pulled), in
+	// instrumented and plain execution alike; rows=0 pins that ANALYZE
+	// measures the real plan instead of draining copies of the inputs.
+	if got := tree.Root.Children[0].Rows; got != 0 {
+		t.Errorf("Scan a rows = %d, want 0 (zero-copy borrow)", got)
+	}
+	out := tree.Render()
+	for _, want := range []string{"rows=7", "time=", "stage overlap: 3", "stage lawan: 7", "total: time="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ANALYZE rendering lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainAnalyzeCancelledReportsAbort: a cancelled ANALYZE is not an
+// error — the tree comes back with the abort reason, so the diagnostic
+// shows where the time went before the deadline hit.
+func TestExplainAnalyzeCancelledReportsAbort(t *testing.T) {
+	cat := demoCatalog(t)
+	st, err := sql.Parse("EXPLAIN ANALYZE SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tree, err := ExplainTree(ctx, st.(*sql.Explain).Query, cat, &Session{}, true)
+	if err != nil {
+		t.Fatalf("cancelled ANALYZE must return the tree, got error %v", err)
+	}
+	if tree.Abort == "" {
+		t.Fatal("tree.Abort empty on a cancelled run")
+	}
+	if out := tree.Render(); !strings.Contains(out, "aborted: context canceled") {
+		t.Errorf("rendering lacks the abort trailer:\n%s", out)
 	}
 }

@@ -1,0 +1,168 @@
+package server_test
+
+// Race and leak coverage for the EXPLAIN ANALYZE instrumentation: many
+// concurrent sessions running ANALYZE queries (each feeds the shared
+// per-operator \metrics counters) interleaved with \metrics scrapes, and
+// a goroutine-leak check after PNJ queries cancelled mid-Open by their
+// per-request timeout. CI runs this package under -race, which is what
+// makes the concurrent counter updates meaningful coverage.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tpjoin/internal/catalog"
+	"tpjoin/internal/client"
+	"tpjoin/internal/dataset"
+	"tpjoin/internal/server"
+	"tpjoin/internal/shell"
+)
+
+// TestConcurrentAnalyzeSessions: 8 sessions × 6 ANALYZE queries across
+// all three strategies, racing against \metrics scrapes. Every response
+// must carry the structured plan with per-operator rows, and the final
+// \metrics must expose the per-operator aggregates.
+func TestConcurrentAnalyzeSessions(t *testing.T) {
+	cat := testCatalog(t)
+	_, addr := startServer(t, cat, server.Config{})
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions+1)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			ctx := context.Background()
+			strat := strategies[i%len(strategies)]
+			if _, err := c.Query(ctx, "SET strategy = "+strat); err != nil {
+				errs <- fmt.Errorf("SET %s: %w", strat, err)
+				return
+			}
+			for q := 0; q < 6; q++ {
+				query := joinQueries[(i+q)%len(joinQueries)]
+				resp, err := c.Query(ctx, "EXPLAIN ANALYZE "+query)
+				if err != nil {
+					errs <- fmt.Errorf("session %d (%s): %w", i, strat, err)
+					return
+				}
+				if resp.Plan == nil || !resp.Plan.Analyze || resp.Plan.Root == nil {
+					errs <- fmt.Errorf("session %d: ANALYZE response without structured plan", i)
+					return
+				}
+				if resp.Plan.Root.Rows == 0 {
+					errs <- fmt.Errorf("session %d: ANALYZE root reports 0 rows for %q", i, query)
+					return
+				}
+				if !strings.Contains(resp.Message, "rows=") || !strings.Contains(resp.Message, "time=") {
+					errs <- fmt.Errorf("session %d: rendering lacks rows/time:\n%s", i, resp.Message)
+					return
+				}
+			}
+		}(i)
+	}
+	// A scraper races the ANALYZE recorders on the shared counters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := client.Dial(addr)
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for i := 0; i < 20; i++ {
+			if _, err := c.Query(context.Background(), `\metrics`); err != nil {
+				errs <- fmt.Errorf("scrape: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Query(context.Background(), `\metrics`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`tpserverd_analyze_nodes_total{op="TPJoin"}`,
+		`tpserverd_analyze_rows_total{op="Scan"}`,
+		`tpserverd_analyze_seconds_total{op="TPJoin"}`,
+	} {
+		if !strings.Contains(resp.Message, want) {
+			t.Errorf("\\metrics lacks %s:\n%s", want, resp.Message)
+		}
+	}
+}
+
+// TestCancelledPNJLeavesNoWorkers: PNJ queries aborted mid-Open by the
+// per-request timeout must not leak partition worker goroutines in the
+// server process.
+func TestCancelledPNJLeavesNoWorkers(t *testing.T) {
+	cat := catalog.New()
+	shell.PreloadFig1a(cat)
+	// Large enough that the join cannot finish inside the timeout.
+	mr, ms := dataset.Meteo(20000, 1)
+	mr.Name, ms.Name = "big_r", "big_s"
+	if err := cat.Register(mr); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register(ms); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, cat, server.Config{DefaultTimeout: 80 * time.Millisecond})
+
+	before := runtime.NumGoroutine()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, q := range []string{"SET strategy = pnj", "SET join_workers = 3"} {
+		if _, err := c.Query(context.Background(), q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		_, err := c.Query(context.Background(),
+			"SELECT * FROM big_r TP LEFT JOIN big_s ON big_r.Key = big_s.Key")
+		if err == nil {
+			t.Fatal("query finished inside the timeout; workload too small to prove cancellation")
+		}
+		if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "cancel") {
+			t.Fatalf("err = %v, want a context deadline/cancellation", err)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after cancelled PNJ queries: %d, want ≤ %d (+3 slack)",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -2,10 +2,13 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"tpjoin/internal/engine"
+	"tpjoin/internal/plan"
 )
 
 // strategyCount is the number of join strategies broken out in the
@@ -37,6 +40,50 @@ type Metrics struct {
 	lastQuery atomic.Pointer[lastQuerySample]
 
 	perStrategy [strategyCount]strategyMetrics
+
+	// perOp aggregates the per-operator ANALYZE counters (rows produced
+	// and inclusive wall time per operator kind) across every EXPLAIN
+	// ANALYZE the server executed — the same counters the ANALYZE tree
+	// reports per query, accumulated for \metrics. Guarded by opMu;
+	// ANALYZE is a diagnostic path, so a mutex (not atomics) is fine.
+	opMu  sync.Mutex
+	perOp map[string]*opCounters
+}
+
+type opCounters struct {
+	nodes  int64
+	rows   int64
+	micros int64
+}
+
+// recordAnalyze folds one executed ANALYZE plan into the per-operator
+// counters, keyed by operator kind (the first token of the node
+// description, e.g. "TPJoin", "Scan").
+func (m *Metrics) recordAnalyze(t *plan.Tree) {
+	if t == nil || !t.Analyze || t.Root == nil {
+		return
+	}
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	if m.perOp == nil {
+		m.perOp = make(map[string]*opCounters)
+	}
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		kind, _, _ := strings.Cut(n.Desc, " ")
+		c := m.perOp[kind]
+		if c == nil {
+			c = &opCounters{}
+			m.perOp[kind] = c
+		}
+		c.nodes++
+		c.rows += n.Rows
+		c.micros += n.TimeUS
+		for _, k := range n.Children {
+			walk(k)
+		}
+	}
+	walk(t.Root)
 }
 
 type lastQuerySample struct {
@@ -77,6 +124,15 @@ type MetricsSnapshot struct {
 	LastQueryRows   int64
 
 	PerStrategy [strategyCount]StrategySnapshot
+	PerOperator map[string]OperatorSnapshot
+}
+
+// OperatorSnapshot is the per-operator-kind slice of the ANALYZE
+// counters.
+type OperatorSnapshot struct {
+	Nodes  int64
+	Rows   int64
+	Micros int64
 }
 
 // StrategySnapshot is the per-strategy slice of the counters.
@@ -108,6 +164,14 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			Micros:  m.perStrategy[i].micros.Load(),
 		}
 	}
+	m.opMu.Lock()
+	if len(m.perOp) > 0 {
+		s.PerOperator = make(map[string]OperatorSnapshot, len(m.perOp))
+		for k, c := range m.perOp {
+			s.PerOperator[k] = OperatorSnapshot{Nodes: c.nodes, Rows: c.rows, Micros: c.micros}
+		}
+	}
+	m.opMu.Unlock()
 	return s
 }
 
@@ -128,6 +192,17 @@ func (s MetricsSnapshot) Render() string {
 		fmt.Fprintf(&b, "tpserverd_strategy_queries_total{strategy=%q} %d\n", label, ss.Queries)
 		fmt.Fprintf(&b, "tpserverd_strategy_rows_total{strategy=%q} %d\n", label, ss.Rows)
 		fmt.Fprintf(&b, "tpserverd_strategy_exec_seconds_total{strategy=%q} %g\n", label, float64(ss.Micros)/1e6)
+	}
+	ops := make([]string, 0, len(s.PerOperator))
+	for k := range s.PerOperator {
+		ops = append(ops, k)
+	}
+	sort.Strings(ops)
+	for _, k := range ops {
+		os := s.PerOperator[k]
+		fmt.Fprintf(&b, "tpserverd_analyze_nodes_total{op=%q} %d\n", k, os.Nodes)
+		fmt.Fprintf(&b, "tpserverd_analyze_rows_total{op=%q} %d\n", k, os.Rows)
+		fmt.Fprintf(&b, "tpserverd_analyze_seconds_total{op=%q} %g\n", k, float64(os.Micros)/1e6)
 	}
 	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"tpjoin/internal/interval"
+	"tpjoin/internal/plan"
 	"tpjoin/internal/shell"
 	"tpjoin/internal/tp"
 )
@@ -19,6 +20,9 @@ import (
 // session. The `\metrics` builtin reports per-strategy throughput
 // (queries/rows/exec-seconds per NJ, TA and PNJ) plus the last query's
 // wall time and row count, so strategy comparisons need no profiler.
+// EXPLAIN ANALYZE responses carry the per-operator tree (rows, wall time,
+// stage counters, abort reason) both rendered in Message and as the
+// structured Plan field.
 
 // Request is one client → server message.
 type Request struct {
@@ -60,13 +64,18 @@ type Response struct {
 	// Usage marks Error as a usage line or unknown-command notice, which
 	// the REPL renders verbatim (no "error:" prefix) — clients should do
 	// the same.
-	Usage     bool     `json:"usage,omitempty"`
-	Kind      string   `json:"kind"`
-	Message   string   `json:"message,omitempty"`
-	Columns   []string `json:"columns,omitempty"`
-	Rows      []Row    `json:"rows,omitempty"`
-	RowCount  int      `json:"row_count"`
-	ElapsedUS int64    `json:"elapsed_us"`
+	Usage   bool     `json:"usage,omitempty"`
+	Kind    string   `json:"kind"`
+	Message string   `json:"message,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+	Rows    []Row    `json:"rows,omitempty"`
+	// Plan carries the structured EXPLAIN [ANALYZE] tree for KindExplain
+	// responses: per-operator rows, wall-time and stage counters under
+	// ANALYZE, plus the abort reason when a timeout interrupted the run.
+	// Message holds the same tree rendered as text.
+	Plan      *plan.Tree `json:"plan,omitempty"`
+	RowCount  int        `json:"row_count"`
+	ElapsedUS int64      `json:"elapsed_us"`
 }
 
 // encodeResult converts a shell evaluation result into a Response body.
@@ -83,6 +92,7 @@ func encodeResult(res shell.Result) Response {
 	case shell.KindExplain:
 		resp.Kind = KindExplain
 		resp.Message = res.Text
+		resp.Plan = res.Plan
 	case shell.KindRows:
 		resp.Kind = KindRows
 		resp.Columns = append([]string(nil), res.Rel.Attrs...)

@@ -1,9 +1,11 @@
 // Package server implements tpserverd's concurrent TP-SQL query service:
 // a session manager multiplexing many client connections over one shared,
 // concurrency-safe catalog, with per-session settings (SET strategy =
-// nj|ta, SET ta_nested_loop), per-query context cancellation and
-// timeouts, EXPLAIN / EXPLAIN ANALYZE passthrough, and /metrics-style
-// counters exposed through the \metrics builtin.
+// nj|ta, SET ta_nested_loop), per-query context cancellation and timeouts
+// (which abort even the blocking TA/PNJ strategies mid-Open), EXPLAIN /
+// EXPLAIN ANALYZE passthrough with the per-operator tree as structured
+// wire fields, and /metrics-style counters — including per-operator
+// ANALYZE aggregates — exposed through the \metrics builtin.
 //
 // The wire protocol (proto.go) is newline-delimited JSON: one Request per
 // line in, one Response per line out, strictly in order per connection.
@@ -239,6 +241,18 @@ func (s *Server) handle(core *shell.Core, req *Request) Response {
 	resp.ID = req.ID
 	resp.ElapsedUS = elapsed.Microseconds()
 	s.metrics.rowsReturned.Add(int64(resp.RowCount))
+	if resp.Plan != nil {
+		// EXPLAIN ANALYZE responses feed the per-operator counters that
+		// \metrics exposes (rows and wall time per operator kind).
+		s.metrics.recordAnalyze(resp.Plan)
+		// A timed-out ANALYZE is reported as a successful response with
+		// the abort reason in the tree; keep it visible in the timeout
+		// counter regardless, or the diagnostic queries users run when
+		// investigating slowness would vanish from the metric.
+		if resp.Plan.Abort != "" {
+			s.metrics.queryTimeouts.Add(1)
+		}
+	}
 	if resp.Kind == KindRows {
 		// Attribute row-producing queries to the session's join strategy
 		// at execution time, so \metrics exposes per-strategy throughput

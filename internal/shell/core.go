@@ -39,6 +39,11 @@ type Result struct {
 	Kind ResultKind
 	Text string
 	Rel  *tp.Relation
+	// Plan carries the structured EXPLAIN [ANALYZE] tree when Kind is
+	// KindExplain: per-operator rows, wall time and stage counters under
+	// ANALYZE. Text is its canonical rendering; the server additionally
+	// puts Plan on the wire as structured fields.
+	Plan *plan.Tree
 }
 
 // Core is the statement dispatch/execution engine shared by the
@@ -222,11 +227,11 @@ func (c *Core) statement(ctx context.Context, line string) (Result, error) {
 		}
 		return Result{Kind: KindMessage, Text: "ok\n"}, nil
 	case *sql.Explain:
-		out, err := plan.ExplainContext(ctx, s.Query, c.Catalog, c.Session, s.Analyze)
+		tree, err := plan.ExplainTree(ctx, s.Query, c.Catalog, c.Session, s.Analyze)
 		if err != nil {
 			return Result{}, err
 		}
-		return Result{Kind: KindExplain, Text: out}, nil
+		return Result{Kind: KindExplain, Text: tree.Render(), Plan: tree}, nil
 	case *sql.CreateTableAs:
 		op, err := plan.Build(s.Query, c.Catalog, c.Session)
 		if err != nil {

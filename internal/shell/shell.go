@@ -60,7 +60,11 @@ const helpText = `statements:
          [WHERE ...] [ORDER BY ...] [LIMIT n]
   SELECT ... FROM r TP UNION|INTERSECT|EXCEPT s
   CREATE TABLE name AS SELECT ...
-  EXPLAIN [ANALYZE] SELECT ...
+  EXPLAIN SELECT ...            show the operator tree and join strategy
+  EXPLAIN ANALYZE SELECT ...    execute and show per-operator rows, wall
+                                time and strategy stage counters; a query
+                                aborted by its timeout reports the abort
+                                reason per node
   SET strategy = nj|ta|pnj
   SET ta_nested_loop = on|off
   SET join_workers = <n>        PNJ workers (0 = one per CPU)
