@@ -7,7 +7,7 @@
 //	SELECT ... FROM r TP UNION|INTERSECT|EXCEPT s
 //	CREATE TABLE name AS SELECT ...
 //	EXPLAIN [ANALYZE] SELECT ...
-//	SET strategy = nj|ta|pnj
+//	SET strategy = auto|nj|ta|pnj
 //	SET ta_nested_loop = on|off
 //	\load <name> <file.csv>    load a relation from CSV
 //	\save <name> <file.csv>    save a relation to CSV

@@ -9,6 +9,9 @@ import (
 
 	"tpjoin/internal/align"
 	"tpjoin/internal/core"
+	"tpjoin/internal/engine"
+	"tpjoin/internal/plan"
+	"tpjoin/internal/stats"
 	"tpjoin/internal/tp"
 )
 
@@ -18,12 +21,15 @@ import (
 // files that track the repository's performance trajectory PR over PR.
 // Keep the panel closures in sync with Fig5/Fig6/Fig7 in bench.go.
 
-// Record is one measured panel point.
+// Record is one measured panel point. The AUTO series runs whatever
+// physical strategy the cost-based picker (SET strategy = auto) chooses
+// for the panel's workload; its Pick field names that strategy.
 type Record struct {
-	Figure      string  `json:"figure"`  // e.g. "5a"
-	Dataset     string  `json:"dataset"` // "webkit" or "meteo"
-	Series      string  `json:"series"`  // "NJ", "TA", "NJ-WN", "NJ-WUON", "PNJ"
-	N           int     `json:"n"`       // input size (total tuples)
+	Figure      string  `json:"figure"`         // e.g. "5a"
+	Dataset     string  `json:"dataset"`        // "webkit" or "meteo"
+	Series      string  `json:"series"`         // "NJ", "TA", "NJ-WN", "NJ-WUON", "PNJ", "AUTO"
+	Pick        string  `json:"pick,omitempty"` // AUTO only: the picked strategy
+	N           int     `json:"n"`              // input size (total tuples)
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -47,10 +53,12 @@ type Run struct {
 }
 
 // File is the on-disk shape of a BENCH_<n>.json: one or more runs (e.g.
-// the pre-PR baseline and the post-PR measurement).
+// the pre-PR baseline and the post-PR measurement) plus free-form notes
+// interpreting them (methodology, deltas, caveats).
 type File struct {
-	Schema int   `json:"schema"`
-	Runs   []Run `json:"runs"`
+	Schema int    `json:"schema"`
+	Runs   []Run  `json:"runs"`
+	Notes  string `json:"notes,omitempty"`
 }
 
 // measure runs f under testing.Benchmark with allocation reporting.
@@ -73,11 +81,25 @@ func record(figure, ds, series string, n int, res testing.BenchmarkResult) Recor
 	}
 }
 
+// autoStrategy is the cost-based picker's verdict for a panel workload
+// with default worker settings — the strategy a SET strategy = auto
+// session would run the panel's join under. taNestedLoop mirrors the
+// panel's TA configuration (Fig. 7a forces the nested-loop plan).
+func autoStrategy(r, s *tp.Relation, theta tp.EquiTheta, taNestedLoop bool) engine.Strategy {
+	est := plan.EstimateJoin(r.Name, stats.Compute(r), s.Name, stats.Compute(s),
+		theta, 0, taNestedLoop)
+	return est.Chosen
+}
+
 // CollectJSON measures the requested figure panels (figs ⊆ {"5","6","7"},
 // datasets ⊆ {"webkit","meteo"}) and returns them as a labelled run.
 // Fig. 7 additionally measures the PNJ series (the engine-wired
 // partitioned-parallel NJ executor), which the text harness does not plot
-// because the paper has no parallel baseline.
+// because the paper has no parallel baseline. Figs. 5 and 7 also measure
+// the AUTO series: the physical strategy the cost-based picker
+// (SET strategy = auto) routes the panel's workload to, recorded so the
+// BENCH_*.json trajectory shows how auto compares against the best manual
+// pick per panel.
 func CollectJSON(figs, datasets []string, opt Options, label string) Run {
 	run := Run{
 		Label:      label,
@@ -113,6 +135,23 @@ func collectPanel(fig, ds string, opt Options) []Record {
 				record(id, ds, "TA", n, measure(func() {
 					align.CountWUO(r, s, theta, align.Config{})
 				})))
+			// AUTO: run the picker's choice. The WUO microbenchmark has
+			// no partitioned variant, so a PNJ pick falls back to the NJ
+			// pipeline it amortizes — Pick records the strategy that was
+			// actually measured, never a speedup that did not run.
+			executed := engine.StrategyNJ
+			if autoStrategy(r, s, theta, false) == engine.StrategyTA {
+				executed = engine.StrategyTA
+			}
+			auto := record(id, ds, "AUTO", n, measure(func() {
+				if executed == engine.StrategyTA {
+					align.CountWUO(r, s, theta, align.Config{})
+				} else {
+					core.Count(core.LAWAU(core.OverlapJoin(r, s, theta)))
+				}
+			}))
+			auto.Pick = executed.String()
+			out = append(out, auto)
 		}
 	case "6":
 		def := defaultWebkit
@@ -152,6 +191,19 @@ func collectPanel(fig, ds string, opt Options) []Record {
 				record(id, ds, "TA", n, measure(func() {
 					align.LeftOuterJoin(r, s, theta, cfg)
 				})))
+			pick := autoStrategy(r, s, theta, cfg.NestedLoop)
+			auto := record(id, ds, "AUTO", n, measure(func() {
+				switch pick {
+				case engine.StrategyTA:
+					align.LeftOuterJoin(r, s, theta, cfg)
+				case engine.StrategyPNJ:
+					core.ParallelJoin(tp.OpLeft, r, s, theta, 0)
+				default:
+					core.LeftOuterJoin(r, s, theta)
+				}
+			}))
+			auto.Pick = pick.String()
+			out = append(out, auto)
 		}
 	default:
 		panic(fmt.Sprintf("bench: unknown figure %q", fig))

@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"tpjoin/internal/interval"
+	"tpjoin/internal/stats"
 	"tpjoin/internal/tp"
 )
 
@@ -31,11 +32,25 @@ import (
 type Catalog struct {
 	mu   sync.RWMutex
 	rels map[string]*tp.Relation
+
+	// stats caches per-relation statistics for the cost-based strategy
+	// picker and the \stats builtin, invalidated by each relation's
+	// (length, Version) pair so they are rebuilt lazily on first use
+	// after a mutation.
+	stats *stats.Cache
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{rels: make(map[string]*tp.Relation)}
+	return &Catalog{rels: make(map[string]*tp.Relation), stats: stats.NewCache()}
+}
+
+// Stats returns rel's statistics profile, computed lazily and cached on
+// the catalog. rel need not be registered (per-query temporaries are
+// computed without caching); registered relations share one cached
+// profile across all sessions.
+func (c *Catalog) Stats(rel *tp.Relation) *stats.Stats {
+	return c.stats.Get(rel)
 }
 
 // Register adds (or replaces) a relation under its name. The relation must

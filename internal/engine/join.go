@@ -76,6 +76,11 @@ type TPJoin struct {
 	taStats  *align.Stats        // TA alignment counters (instr only)
 	pnjStats *core.ParallelStats // PNJ partition counters (instr only)
 
+	// pick is the planner's cost-model record for this join (nil when the
+	// planner attached none, e.g. for hand-built trees); the engine
+	// carries it only so EXPLAIN can render the decision.
+	pick *AutoPick
+
 	stream core.TupleIterator // NJ
 	mat    *tp.Relation       // TA / PNJ
 	mi     int
@@ -105,6 +110,23 @@ func NewTPJoin(op tp.Op, left, right Operator, theta tp.Theta, strategy Strategy
 	}
 	return j
 }
+
+// AutoPick records the planner's cost-model view of one TP join for
+// EXPLAIN: the model's estimated cost per physical strategy (indexed by
+// Strategy, in model nanoseconds) and one summary line per input of the
+// statistics the model consumed. Auto reports whether the cost-based
+// picker chose the strategy (as opposed to a forced SET strategy).
+type AutoPick struct {
+	Auto   bool
+	Costs  [NumStrategies]float64
+	Inputs []string
+}
+
+// SetAutoPick attaches the planner's cost-model record; see AutoPick.
+func (j *TPJoin) SetAutoPick(p *AutoPick) { j.pick = p }
+
+// AutoPick returns the planner's cost-model record, or nil.
+func (j *TPJoin) AutoPick() *AutoPick { return j.pick }
 
 // SetWorkers sets the PNJ worker count (0 = GOMAXPROCS). It has no effect
 // on the other strategies.

@@ -1,0 +1,149 @@
+package plan
+
+// The planner's cost model for physical TP-join strategy selection
+// (SET strategy = auto). The paper's central evaluation result is that no
+// strategy dominates: the lineage-aware NJ pipeline wins on selective
+// workloads with small per-key groups (Webkit), temporal alignment wins on
+// non-selective workloads with large per-key groups (Meteo, by one to two
+// orders of magnitude), and the partitioned-parallel executor amortizes NJ
+// across workers when the key cardinality admits partitioning. The model
+// reproduces that ordering from catalog statistics (internal/stats):
+//
+//   - NJ pays a per-tuple pipeline cost plus a window term that grows
+//     with the per-key group size *squared*: the sweep materializes one
+//     window per overlapping same-key pair (pairs ≈ n·λ, with λ the
+//     partner side's per-key temporal concurrency) and maintains an
+//     active set of ~λ tuples per window, so the term is ∝ n·λ².
+//   - TA pays partitioning/sorting per input tuple plus alignment work
+//     linear in the fragments it produces (each tuple splits at the
+//     boundaries of overlapping same-key partners: fragments ≈ n·λ).
+//   - PNJ is NJ with the window term amortized across join_workers
+//     partitions when the key cardinality is at least the worker count
+//     (a key's group is indivisible), with partitioning overhead per
+//     tuple, a per-worker setup charge, and sublinear parallel
+//     efficiency (skew, materialization, memory bandwidth).
+//
+// The constants are calibrated to the figure shapes tracked in
+// BENCH_1.json (input-size scaling per panel) and to the paper's reported
+// orderings across the two dataset profiles. NOTE: on this Go substrate
+// the TA baseline's constant factors are measurably worse than the
+// paper's PostgreSQL implementation (BENCH_1.json records NJ ahead on
+// every measured panel), so the model deliberately prices TA at the
+// paper's relative constants rather than this host's — see DESIGN.md
+// §cost model for the rationale and the re-calibration procedure.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"tpjoin/internal/engine"
+	"tpjoin/internal/stats"
+	"tpjoin/internal/tp"
+)
+
+// The calibration constants, in model nanoseconds. Re-calibrate after
+// perf PRs per DESIGN.md §cost model.
+const (
+	costNJTuple  = 150  // NJ pipeline cost per input tuple
+	costNJWindow = 800  // NJ cost per window, scaled by the active-set size
+	costTATuple  = 1000 // TA partition+sort cost per input tuple
+	costTAFrag   = 400  // TA alignment cost per fragment
+	costTANLPair = 40   // TA nested-loop cost per tuple pair (ta_nested_loop;
+	// BENCH_1.json Fig. 7a measured ≈39ns/pair on the seed substrate)
+	costPNJTuple  = 80    // PNJ partitioning cost per input tuple
+	costPNJSetup  = 75000 // PNJ per-worker setup (goroutines, partition buffers)
+	pnjEfficiency = 0.5   // marginal speedup per extra PNJ worker
+	pnjMaxSpeedup = 5     // parallel-speedup ceiling (skew, materialization)
+)
+
+// Estimate is the cost model's verdict on one TP join: the estimated cost
+// per physical strategy (model nanoseconds, indexed by engine.Strategy)
+// and the cheapest choice.
+type Estimate struct {
+	Chosen engine.Strategy
+	Costs  [engine.NumStrategies]float64
+	// Inputs holds one human-readable summary line per join input with
+	// the statistics the model consumed; EXPLAIN prints them.
+	Inputs []string
+}
+
+// EstimateJoin scores the physical strategies for a join of the two
+// relations summarized by ls and rs under theta. workers is the session's
+// join_workers setting (0 = one per CPU); taNestedLoop prices the TA
+// baseline's nested-loop plan instead of its hash plan. Non-equi
+// conditions (unreachable from the SQL dialect, which only builds ON
+// equalities) are treated as a single all-matching key and exclude PNJ.
+func EstimateJoin(lname string, ls *stats.Stats, rname string, rs *stats.Stats, theta tp.Theta, workers int, taNestedLoop bool) Estimate {
+	nl, nr := float64(ls.Tuples), float64(rs.Tuples)
+	var lk, rk stats.KeyInfo
+	equi := false
+	if eq, ok := theta.(tp.EquiTheta); ok {
+		lk, rk = ls.Key(eq.RCols), rs.Key(eq.SCols)
+		equi = true
+	} else {
+		lk, rk = ls.Key(nil), rs.Key(nil)
+	}
+
+	// Overlapping same-key pairs, counted from both sides: each tuple
+	// meets the partner side's per-key concurrency. This is the shared
+	// driver of NJ windows and TA fragments.
+	pairs := nl*rk.Concurrency + nr*lk.Concurrency
+	// NJ's active set per window; never below one tuple.
+	active := math.Max(1, (lk.Concurrency+rk.Concurrency)/2)
+
+	var e Estimate
+	e.Costs[engine.StrategyNJ] = costNJTuple*(nl+nr) + costNJWindow*pairs*active
+
+	if taNestedLoop {
+		e.Costs[engine.StrategyTA] = costTATuple*(nl+nr) + costTANLPair*nl*nr
+	} else {
+		e.Costs[engine.StrategyTA] = costTATuple*(nl+nr) + costTAFrag*pairs
+	}
+
+	if equi {
+		w := workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > MaxJoinWorkers {
+			w = MaxJoinWorkers
+		}
+		// A key's group is indivisible across partitions, so parallelism
+		// is bounded by the matched-key cardinality.
+		if m := min(lk.Distinct, rk.Distinct); w > m {
+			w = m
+		}
+		if w < 1 {
+			w = 1
+		}
+		speedup := math.Min(pnjMaxSpeedup, 1+float64(w-1)*pnjEfficiency)
+		e.Costs[engine.StrategyPNJ] = (costNJTuple+costPNJTuple)*(nl+nr) +
+			costNJWindow*pairs*active/speedup + costPNJSetup*float64(w)
+	} else {
+		e.Costs[engine.StrategyPNJ] = math.Inf(1)
+	}
+
+	e.Chosen = engine.StrategyNJ
+	for s := engine.Strategy(0); s < engine.NumStrategies; s++ {
+		if e.Costs[s] < e.Costs[e.Chosen] {
+			e.Chosen = s
+		}
+	}
+	e.Inputs = []string{
+		inputSummary(lname, ls, lk),
+		inputSummary(rname, rs, rk),
+	}
+	return e
+}
+
+func inputSummary(name string, s *stats.Stats, k stats.KeyInfo) string {
+	return fmt.Sprintf("%s: %d tuples, %d join keys, group mean %.1f max %d, concurrency %.2f",
+		name, s.Tuples, k.Distinct, k.MeanGroup, k.MaxGroup, k.Concurrency)
+}
+
+// autoPickRecord converts an Estimate into the engine-side record EXPLAIN
+// renders.
+func (e Estimate) autoPickRecord(auto bool) *engine.AutoPick {
+	return &engine.AutoPick{Auto: auto, Costs: e.Costs, Inputs: e.Inputs}
+}

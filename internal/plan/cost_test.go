@@ -1,0 +1,133 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"tpjoin/internal/catalog"
+	"tpjoin/internal/dataset"
+	"tpjoin/internal/engine"
+	"tpjoin/internal/sql"
+	"tpjoin/internal/stats"
+)
+
+// TestAutoPickerPaperOrdering pins the cost model's verdict on the two
+// evaluation presets to the paper's Fig. 5/6 ordering: the lineage-aware
+// NJ pipeline (or its partitioned-parallel PNJ variant) on Webkit's
+// selective, small-group profile; temporal alignment on Meteo's
+// non-selective, large-group profile. The pin holds across preset sizes,
+// seeds and worker settings, so a host's CPU count cannot flip it.
+func TestAutoPickerPaperOrdering(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		for _, n := range []int{10000, 20000} {
+			for _, w := range []int{0, 1, 4, 16} {
+				r, s := dataset.Webkit(n, seed)
+				e := EstimateJoin(r.Name, stats.Compute(r), s.Name, stats.Compute(s),
+					dataset.WebkitTheta(), w, false)
+				if e.Chosen != engine.StrategyNJ && e.Chosen != engine.StrategyPNJ {
+					t.Errorf("webkit n=%d seed=%d w=%d: picked %v, want NJ or PNJ (costs %v)",
+						n, seed, w, e.Chosen, e.Costs)
+				}
+
+				r, s = dataset.Meteo(n, seed)
+				e = EstimateJoin(r.Name, stats.Compute(r), s.Name, stats.Compute(s),
+					dataset.MeteoTheta(), w, false)
+				if e.Chosen != engine.StrategyTA {
+					t.Errorf("meteo n=%d seed=%d w=%d: picked %v, want TA (costs %v)",
+						n, seed, w, e.Chosen, e.Costs)
+				}
+			}
+		}
+	}
+}
+
+// TestEstimateShape pins the model's qualitative behavior rather than its
+// constants: forcing the TA nested-loop plan makes TA quadratic (never
+// the pick), and every returned cost is positive and finite for equi
+// joins.
+func TestEstimateShape(t *testing.T) {
+	r, s := dataset.Meteo(10000, 1)
+	rs, ss := stats.Compute(r), stats.Compute(s)
+	nl := EstimateJoin(r.Name, rs, s.Name, ss, dataset.MeteoTheta(), 0, true)
+	if nl.Chosen == engine.StrategyTA {
+		t.Errorf("ta_nested_loop=on must price TA out, picked %v (costs %v)", nl.Chosen, nl.Costs)
+	}
+	hash := EstimateJoin(r.Name, rs, s.Name, ss, dataset.MeteoTheta(), 0, false)
+	for st, c := range hash.Costs {
+		if !(c > 0) {
+			t.Errorf("cost[%v] = %v, want positive finite", engine.Strategy(st), c)
+		}
+	}
+	if nl.Costs[engine.StrategyTA] <= hash.Costs[engine.StrategyTA] {
+		t.Errorf("nested-loop TA (%g) must cost more than hash TA (%g)",
+			nl.Costs[engine.StrategyTA], hash.Costs[engine.StrategyTA])
+	}
+	if len(hash.Inputs) != 2 || !strings.Contains(hash.Inputs[0], "join keys") {
+		t.Errorf("input summaries malformed: %q", hash.Inputs)
+	}
+}
+
+// TestAutoEndToEnd drives the picker through the full planning surface:
+// SET strategy = auto (the default session) routes the Meteo preset to TA
+// and EXPLAIN reports the choice, the per-strategy cost estimates and the
+// input statistics; a forced SET strategy overrides the picker but keeps
+// the estimates visible; PlannedJoin exposes the decision for the
+// server's metrics.
+func TestAutoEndToEnd(t *testing.T) {
+	r, s := dataset.Meteo(10000, 1)
+	cat := catalog.New()
+	if err := cat.Register(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sql.Parse("EXPLAIN SELECT * FROM r TP JOIN s ON r.Key = s.Key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := &Session{}
+	tree, err := ExplainTree(context.Background(), st.(*sql.Explain).Query, cat, sess, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tree.Render()
+	for _, want := range []string{"strategy=TA (auto)", "cost: NJ=", " TA=", " PNJ=", "stats r:", "stats s:", "join keys"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("auto EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+	if strat, auto, ok := sess.PlannedJoin(); !ok || !auto || strat != engine.StrategyTA {
+		t.Errorf("PlannedJoin = (%v, %v, %v), want (TA, true, true)", strat, auto, ok)
+	}
+
+	// Forcing overrides the pick but the estimates stay visible.
+	sess.Strategy = StrategyNJ
+	tree, err = ExplainTree(context.Background(), st.(*sql.Explain).Query, cat, sess, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = tree.Render()
+	if !strings.Contains(out, "strategy=NJ") || strings.Contains(out, "(auto)") {
+		t.Errorf("forced strategy must not be marked auto:\n%s", out)
+	}
+	if !strings.Contains(out, "cost: NJ=") {
+		t.Errorf("forced EXPLAIN must still show the model estimates:\n%s", out)
+	}
+	if strat, auto, ok := sess.PlannedJoin(); !ok || auto || strat != engine.StrategyNJ {
+		t.Errorf("forced PlannedJoin = (%v, %v, %v), want (NJ, false, true)", strat, auto, ok)
+	}
+
+	// A join-free statement clears the record.
+	sel, err := sql.Parse("SELECT * FROM r LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(sel.(*sql.Select), cat, sess); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := sess.PlannedJoin(); ok {
+		t.Error("join-free statement must clear PlannedJoin")
+	}
+}

@@ -1,14 +1,17 @@
 // Package plan turns parsed SQL statements (internal/sql) into executable
 // operator trees (internal/engine): name resolution against the catalog,
-// column binding, θ-condition construction, strategy selection (the NJ
-// approach vs. the TA baseline, a session setting like the paper's
-// PostgreSQL GUC), and EXPLAIN rendering.
+// column binding, θ-condition construction, physical join-strategy
+// selection — forced per session like the paper's PostgreSQL GUC
+// (SET strategy = nj|ta|pnj), or chosen per join by the cost model over
+// catalog statistics (SET strategy = auto, the default; see cost.go) —
+// and EXPLAIN rendering.
 package plan
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"strings"
@@ -31,32 +34,106 @@ import (
 // drift apart.
 const MaxJoinWorkers = core.MaxWorkers
 
+// Strategy is the session's join-strategy setting: one of the engine's
+// physical strategies, forced for every join, or StrategyAuto (the zero
+// value and therefore every surface's default), under which the cost
+// model (EstimateJoin) picks the cheapest physical strategy per join from
+// catalog statistics.
+type Strategy uint8
+
+// The SET strategy values.
+const (
+	StrategyAuto Strategy = iota
+	StrategyNJ
+	StrategyTA
+	StrategyPNJ
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyNJ:
+		return "NJ"
+	case StrategyTA:
+		return "TA"
+	case StrategyPNJ:
+		return "PNJ"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// Physical returns the forced engine strategy; forced is false for
+// StrategyAuto (the returned strategy is then the nominal NJ default).
+func (s Strategy) Physical() (strat engine.Strategy, forced bool) {
+	switch s {
+	case StrategyNJ:
+		return engine.StrategyNJ, true
+	case StrategyTA:
+		return engine.StrategyTA, true
+	case StrategyPNJ:
+		return engine.StrategyPNJ, true
+	default:
+		return engine.StrategyNJ, false
+	}
+}
+
 // Session carries the per-connection settings that influence planning.
 type Session struct {
-	// Strategy selects the physical TP join implementation.
-	Strategy engine.Strategy
+	// Strategy selects the physical TP join implementation, or
+	// StrategyAuto (the default) for cost-based per-join selection.
+	Strategy Strategy
 	// TANestedLoop forces the nested-loop plan for the TA baseline
 	// (the plan PostgreSQL chose in the paper's evaluation).
 	TANestedLoop bool
 	// Workers is the PNJ worker count (SET join_workers); 0 means one
 	// worker per CPU (GOMAXPROCS).
 	Workers int
+
+	// planned records the TP join of the session's most recent Build:
+	// the physical strategy it got and whether the cost model (rather
+	// than a forced SET strategy) chose it. The server reads it to
+	// attribute per-strategy and auto-pick metrics.
+	planned struct {
+		strat engine.Strategy
+		auto  bool
+		join  bool
+	}
 }
 
-// ApplySet updates the session from a SET statement. Supported settings:
-// strategy = nj|ta|pnj, ta_nested_loop = on|off, join_workers = <n>.
+// PlannedJoin reports the physical strategy of the TP join planned by the
+// session's most recent statement and whether the cost-based picker chose
+// it; ok is false when that statement planned no TP join.
+func (s *Session) PlannedJoin() (strat engine.Strategy, auto, ok bool) {
+	return s.planned.strat, s.planned.auto, s.planned.join
+}
+
+// ResetPlanned clears the planned-join record. Surfaces call it at the
+// start of every evaluated input line, so statements that never reach
+// Build (SET, backslash commands, parse errors) cannot leak the previous
+// statement's pick into per-query accounting.
+func (s *Session) ResetPlanned() { s.planned.join = false }
+
+// ApplySet updates the session from a SET statement. Setting names and
+// values are case-insensitive. Supported settings:
+// strategy = auto|nj|ta|pnj, ta_nested_loop = on|off, join_workers = <n>.
 func (s *Session) ApplySet(st *sql.Set) error {
-	switch strings.ToLower(st.Name) {
+	name := strings.ToLower(st.Name)
+	value := strings.ToLower(st.Value)
+	switch name {
 	case "strategy":
-		switch strings.ToLower(st.Value) {
+		switch value {
+		case "auto":
+			s.Strategy = StrategyAuto
 		case "nj":
-			s.Strategy = engine.StrategyNJ
+			s.Strategy = StrategyNJ
 		case "ta":
-			s.Strategy = engine.StrategyTA
+			s.Strategy = StrategyTA
 		case "pnj":
-			s.Strategy = engine.StrategyPNJ
+			s.Strategy = StrategyPNJ
 		default:
-			return fmt.Errorf("plan: unknown strategy %q (want nj, ta or pnj)", st.Value)
+			return fmt.Errorf("plan: unknown strategy %q (want auto, nj, ta or pnj)", value)
 		}
 	case "join_workers":
 		n, err := strconv.Atoi(st.Value)
@@ -65,16 +142,16 @@ func (s *Session) ApplySet(st *sql.Set) error {
 		}
 		s.Workers = n
 	case "ta_nested_loop":
-		switch strings.ToLower(st.Value) {
+		switch value {
 		case "on", "true", "1":
 			s.TANestedLoop = true
 		case "off", "false", "0":
 			s.TANestedLoop = false
 		default:
-			return fmt.Errorf("plan: bad boolean %q", st.Value)
+			return fmt.Errorf("plan: ta_nested_loop wants on or off (also true/false, 1/0), got %q", value)
 		}
 	default:
-		return fmt.Errorf("plan: unknown setting %q", st.Name)
+		return fmt.Errorf("plan: unknown setting %q (want strategy, join_workers or ta_nested_loop)", name)
 	}
 	return nil
 }
@@ -130,8 +207,12 @@ func (b *binding) resolve(c sql.ColRef) (int, error) {
 	return found, nil
 }
 
-// Build compiles a SELECT into an operator tree.
+// Build compiles a SELECT into an operator tree. TP joins get their
+// physical strategy here: the session's forced SET strategy, or — under
+// SET strategy = auto, the default — the cost model's cheapest estimate
+// over the catalog statistics of the join inputs (see EstimateJoin).
 func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operator, error) {
+	sess.ResetPlanned()
 	left, err := cat.Lookup(sel.From.Name)
 	if err != nil {
 		return nil, err
@@ -172,8 +253,21 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 			return nil, err
 		}
 		cfg := align.Config{NestedLoop: sess.TANestedLoop}
-		join := engine.NewTPJoin(sel.Join.Op, op, engine.NewScan(right), theta, sess.Strategy, cfg)
+		// Score the strategies on the inputs' catalog statistics. When a
+		// set operation precedes the join, the left statistics describe
+		// its base relation rather than the set-op output — an accepted
+		// approximation (set ops only fragment time, they do not change
+		// the key distribution materially).
+		strategy, forced := sess.Strategy.Physical()
+		est := EstimateJoin(sel.From.Binding(), cat.Stats(left),
+			sel.Join.Right.Binding(), cat.Stats(right), theta, sess.Workers, sess.TANestedLoop)
+		if !forced {
+			strategy = est.Chosen
+		}
+		join := engine.NewTPJoin(sel.Join.Op, op, engine.NewScan(right), theta, strategy, cfg)
 		join.SetWorkers(sess.Workers)
+		join.SetAutoPick(est.autoPickRecord(!forced))
+		sess.planned.strat, sess.planned.auto, sess.planned.join = strategy, !forced, true
 		op = join
 		if sel.Join.Op == tp.OpAnti {
 			// Output schema stays the left table's.
@@ -472,6 +566,11 @@ type Node struct {
 	// pipeline stages under NJ, alignment counters under TA, partition
 	// counters under PNJ.
 	Stages []Stage `json:"stages,omitempty"`
+	// Pick is the planner's cost-model record for a TP join planned from
+	// the SQL surface: the per-strategy cost estimates, the input
+	// statistics they were derived from, and whether the cost-based
+	// picker (SET strategy = auto) made the choice.
+	Pick *PickInfo `json:"pick,omitempty"`
 	// Abort is the context error that interrupted this operator's
 	// blocking Open, if any.
 	Abort    string  `json:"abort,omitempty"`
@@ -483,6 +582,22 @@ type Stage struct {
 	Name    string `json:"name"`
 	Count   int64  `json:"count"`
 	Batches int64  `json:"batches,omitempty"`
+}
+
+// PickInfo is the structured cost-model record of one TP join: the model
+// cost per applicable strategy and the input statistics used. Auto is
+// true when the picker chose the strategy, false when SET strategy forced
+// it (the estimates are still reported for comparison).
+type PickInfo struct {
+	Auto   bool       `json:"auto,omitempty"`
+	Costs  []PickCost `json:"costs"`
+	Inputs []string   `json:"inputs,omitempty"`
+}
+
+// PickCost is one strategy's model cost estimate, in model milliseconds.
+type PickCost struct {
+	Strategy string  `json:"strategy"`
+	Millis   float64 `json:"millis"`
 }
 
 // Tree is a complete EXPLAIN [ANALYZE] result: the operator tree plus,
@@ -585,6 +700,18 @@ func buildNode(op engine.Operator, analyze bool) *Node {
 				n.Desc += " workers=auto"
 			}
 		}
+		if p := o.AutoPick(); p != nil {
+			if p.Auto {
+				n.Desc += " (auto)"
+			}
+			n.Pick = &PickInfo{Auto: p.Auto, Inputs: p.Inputs}
+			for s := engine.Strategy(0); s < engine.NumStrategies; s++ {
+				if c := p.Costs[s]; !math.IsInf(c, 0) && !math.IsNaN(c) {
+					n.Pick.Costs = append(n.Pick.Costs,
+						PickCost{Strategy: s.String(), Millis: c / 1e6})
+				}
+			}
+		}
 		if analyze {
 			for _, st := range o.Stages() {
 				n.Stages = append(n.Stages, Stage{Name: st.Name, Count: st.Count, Batches: st.Batches})
@@ -651,6 +778,16 @@ func renderNode(b *strings.Builder, n *Node, depth int, analyze bool) {
 		}
 	}
 	b.WriteByte('\n')
+	if n.Pick != nil {
+		fmt.Fprintf(b, "%s  cost:", indent)
+		for _, c := range n.Pick.Costs {
+			fmt.Fprintf(b, " %s=%.3gms", c.Strategy, c.Millis)
+		}
+		b.WriteByte('\n')
+		for _, in := range n.Pick.Inputs {
+			fmt.Fprintf(b, "%s  stats %s\n", indent, in)
+		}
+	}
 	for _, st := range n.Stages {
 		fmt.Fprintf(b, "%s  stage %s: %d", indent, st.Name, st.Count)
 		if st.Batches > 0 {

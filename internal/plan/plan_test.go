@@ -56,7 +56,7 @@ func TestPaperQueryViaSQL(t *testing.T) {
 		t.Fatalf("Fig. 1b query returned %d tuples, want 7:\n%v", out.Len(), out)
 	}
 	// TA strategy must agree point-wise.
-	sess.Strategy = engine.StrategyTA
+	sess.Strategy = StrategyTA
 	outTA := mustRun(t, "SELECT * FROM a TP LEFT OUTER JOIN b ON a.Loc = b.Loc", sess, cat)
 	pm1, err := tp.Expand(out)
 	if err != nil {
@@ -74,7 +74,7 @@ func TestPaperQueryViaSQL(t *testing.T) {
 func TestPNJViaSQL(t *testing.T) {
 	cat := demoCatalog(t)
 	nj := mustRun(t, "SELECT * FROM a TP LEFT OUTER JOIN b ON a.Loc = b.Loc", &Session{}, cat)
-	sess := &Session{Strategy: engine.StrategyPNJ, Workers: 2}
+	sess := &Session{Strategy: StrategyPNJ, Workers: 2}
 	pnj := mustRun(t, "SELECT * FROM a TP LEFT OUTER JOIN b ON a.Loc = b.Loc", sess, cat)
 	if pnj.Len() != nj.Len() {
 		t.Fatalf("PNJ returned %d tuples, NJ %d", pnj.Len(), nj.Len())
@@ -99,14 +99,14 @@ func TestExplainPNJShowsWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	ex := st.(*sql.Explain)
-	out, err := Explain(ex.Query, cat, &Session{Strategy: engine.StrategyPNJ, Workers: 3}, false)
+	out, err := Explain(ex.Query, cat, &Session{Strategy: StrategyPNJ, Workers: 3}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "strategy=PNJ workers=3") {
 		t.Errorf("EXPLAIN missing PNJ worker annotation:\n%s", out)
 	}
-	out, err = Explain(ex.Query, cat, &Session{Strategy: engine.StrategyPNJ}, false)
+	out, err = Explain(ex.Query, cat, &Session{Strategy: StrategyPNJ}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,14 +197,35 @@ func TestAliasResolution(t *testing.T) {
 
 func TestApplySet(t *testing.T) {
 	var s Session
-	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "ta"}); err != nil || s.Strategy != engine.StrategyTA {
+	if s.Strategy != StrategyAuto {
+		t.Errorf("zero-value session strategy = %v, want auto (the default)", s.Strategy)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "ta"}); err != nil || s.Strategy != StrategyTA {
 		t.Errorf("SET strategy=ta failed: %v", err)
 	}
-	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "nj"}); err != nil || s.Strategy != engine.StrategyNJ {
+	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "nj"}); err != nil || s.Strategy != StrategyNJ {
 		t.Errorf("SET strategy=nj failed: %v", err)
 	}
-	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "pnj"}); err != nil || s.Strategy != engine.StrategyPNJ {
+	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "pnj"}); err != nil || s.Strategy != StrategyPNJ {
 		t.Errorf("SET strategy=pnj failed: %v", err)
+	}
+	// Case-insensitive names and values, and the auto round-trip.
+	if err := s.ApplySet(&sql.Set{Name: "Strategy", Value: "AUTO"}); err != nil || s.Strategy != StrategyAuto {
+		t.Errorf("SET Strategy=AUTO failed: %v", err)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "STRATEGY", Value: "Pnj"}); err != nil || s.Strategy != StrategyPNJ {
+		t.Errorf("SET STRATEGY=Pnj failed: %v", err)
+	}
+	// Keyword values (the lexer upper-cases keywords) and unknown
+	// names/values must produce errors that list the accepted
+	// alternatives, not confusing downstream failures.
+	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "SELECT"}); err == nil ||
+		!strings.Contains(err.Error(), "want auto, nj, ta or pnj") {
+		t.Errorf("SET strategy=select error must list alternatives, got %v", err)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "strateg", Value: "nj"}); err == nil ||
+		!strings.Contains(err.Error(), "want strategy, join_workers or ta_nested_loop") {
+		t.Errorf("unknown setting error must list setting names, got %v", err)
 	}
 	if err := s.ApplySet(&sql.Set{Name: "ta_nested_loop", Value: "on"}); err != nil || !s.TANestedLoop {
 		t.Errorf("SET ta_nested_loop failed: %v", err)

@@ -286,8 +286,13 @@ func Enumerate(e *lineage.Expr, probs Probs) float64 {
 }
 
 // MonteCarlo estimates Pr(e) from n independent samples drawn with the
-// given seed. The standard error is about sqrt(p(1-p)/n).
+// given seed. The standard error is about sqrt(p(1-p)/n). It panics for
+// n <= 0 (the estimate hits/n would silently be NaN), matching the
+// package's contract style for programmer errors.
 func MonteCarlo(e *lineage.Expr, probs Probs, n int, seed int64) float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("prob: MonteCarlo needs a positive sample count, got %d", n))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	vars := e.Vars()
 	assign := make(map[lineage.Var]bool, len(vars))

@@ -1,8 +1,10 @@
 package prob
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"tpjoin/internal/lineage"
@@ -186,5 +188,29 @@ func randExpr(rng *rand.Rand, depth int) *lineage.Expr {
 		return lineage.And(randExpr(rng, depth-1), randExpr(rng, depth-1), randExpr(rng, depth-1))
 	default:
 		return lineage.Or(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	}
+}
+
+// TestMonteCarloRejectsNonPositiveN is the regression test for the NaN
+// bug: hits/n with n == 0 silently returned NaN (and a negative n
+// returned 0 without sampling). Both now panic with a clear message, per
+// the package's contract style for programmer errors.
+func TestMonteCarloRejectsNonPositiveN(t *testing.T) {
+	e := lineage.NewVar("a", 1)
+	probs := Probs{lineage.Var{Rel: "a", ID: 1}: 0.5}
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("MonteCarlo(n=%d) must panic", n)
+					return
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "positive sample count") {
+					t.Errorf("MonteCarlo(n=%d) panic message %q lacks the contract text", n, msg)
+				}
+			}()
+			MonteCarlo(e, probs, n, 1)
+		}()
 	}
 }

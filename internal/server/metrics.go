@@ -41,6 +41,12 @@ type Metrics struct {
 
 	perStrategy [strategyCount]strategyMetrics
 
+	// autoPicks counts, per physical strategy, how many TP joins the
+	// cost-based picker (SET strategy = auto) routed there — the server's
+	// view of which side of the paper's workload dichotomy its traffic
+	// lands on.
+	autoPicks [strategyCount]atomic.Int64
+
 	// perOp aggregates the per-operator ANALYZE counters (rows produced
 	// and inclusive wall time per operator kind) across every EXPLAIN
 	// ANALYZE the server executed — the same counters the ANALYZE tree
@@ -97,6 +103,13 @@ type strategyMetrics struct {
 	micros  atomic.Int64
 }
 
+// recordAutoPick counts one cost-based strategy pick.
+func (m *Metrics) recordAutoPick(strategy engine.Strategy) {
+	if int(strategy) < strategyCount {
+		m.autoPicks[strategy].Add(1)
+	}
+}
+
 // recordQuery attributes one executed query to its join strategy and
 // updates the last-query gauges.
 func (m *Metrics) recordQuery(strategy engine.Strategy, rows int, micros int64) {
@@ -124,6 +137,7 @@ type MetricsSnapshot struct {
 	LastQueryRows   int64
 
 	PerStrategy [strategyCount]StrategySnapshot
+	AutoPicks   [strategyCount]int64
 	PerOperator map[string]OperatorSnapshot
 }
 
@@ -163,6 +177,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 			Rows:    m.perStrategy[i].rows.Load(),
 			Micros:  m.perStrategy[i].micros.Load(),
 		}
+		s.AutoPicks[i] = m.autoPicks[i].Load()
 	}
 	m.opMu.Lock()
 	if len(m.perOp) > 0 {
@@ -192,6 +207,7 @@ func (s MetricsSnapshot) Render() string {
 		fmt.Fprintf(&b, "tpserverd_strategy_queries_total{strategy=%q} %d\n", label, ss.Queries)
 		fmt.Fprintf(&b, "tpserverd_strategy_rows_total{strategy=%q} %d\n", label, ss.Rows)
 		fmt.Fprintf(&b, "tpserverd_strategy_exec_seconds_total{strategy=%q} %g\n", label, float64(ss.Micros)/1e6)
+		fmt.Fprintf(&b, "tpserverd_auto_strategy_total{strategy=%q} %d\n", label, s.AutoPicks[i])
 	}
 	ops := make([]string, 0, len(s.PerOperator))
 	for k := range s.PerOperator {

@@ -13,7 +13,7 @@ import (
 // The wire protocol is newline-delimited JSON over a stream transport:
 // the client writes one Request per line, the server answers with exactly
 // one Response per Request, in order. One connection is one session: it
-// owns its SET settings — `SET strategy = nj|ta|pnj` selects the physical
+// owns its SET settings — `SET strategy = auto|nj|ta|pnj` selects the physical
 // join (pnj is the partitioned-parallel NJ executor), `SET join_workers =
 // <n>` its worker count (0 = one per CPU), `SET ta_nested_loop = on|off`
 // the TA plan shape — and shares the server's catalog with every other

@@ -1,7 +1,7 @@
 // Package server implements tpserverd's concurrent TP-SQL query service:
 // a session manager multiplexing many client connections over one shared,
 // concurrency-safe catalog, with per-session settings (SET strategy =
-// nj|ta, SET ta_nested_loop), per-query context cancellation and timeouts
+// auto|nj|ta|pnj, SET ta_nested_loop), per-query context cancellation and timeouts
 // (which abort even the blocking TA/PNJ strategies mid-Open), EXPLAIN /
 // EXPLAIN ANALYZE passthrough with the per-operator tree as structured
 // wire fields, and /metrics-style counters — including per-operator
@@ -26,6 +26,8 @@ import (
 	"time"
 
 	"tpjoin/internal/catalog"
+	"tpjoin/internal/engine"
+	"tpjoin/internal/plan"
 	"tpjoin/internal/shell"
 )
 
@@ -229,6 +231,12 @@ func (s *Server) handle(core *shell.Core, req *Request) Response {
 	elapsed := time.Since(start)
 	s.metrics.queriesServed.Add(1)
 	s.metrics.execMicros.Add(elapsed.Microseconds())
+	// Count cost-based strategy picks (SET strategy = auto) whenever the
+	// statement planned a TP join — SELECT, CREATE TABLE AS and EXPLAIN
+	// alike — feeding tpserverd_auto_strategy_total{strategy=...}.
+	if strat, auto, ok := core.Session.PlannedJoin(); ok && auto {
+		s.metrics.recordAutoPick(strat)
+	}
 	if err != nil {
 		s.metrics.queryErrors.Add(1)
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -254,20 +262,37 @@ func (s *Server) handle(core *shell.Core, req *Request) Response {
 		}
 	}
 	if resp.Kind == KindRows {
-		// Attribute row-producing queries to the session's join strategy
-		// at execution time, so \metrics exposes per-strategy throughput
-		// (NJ vs TA vs PNJ); SET and backslash commands are not workload.
-		s.metrics.recordQuery(core.Session.Strategy, resp.RowCount, elapsed.Microseconds())
+		// Attribute row-producing queries to the physical join strategy
+		// the planner gave them — the cost model's pick under auto, the
+		// forced SET strategy otherwise — so \metrics exposes per-strategy
+		// throughput (NJ vs TA vs PNJ); SET and backslash commands are not
+		// workload. Join-free queries fall back to the forced setting (or
+		// the nominal NJ default under auto): no join ran, but the rows
+		// still need a bucket.
+		s.metrics.recordQuery(effectiveStrategy(core.Session), resp.RowCount, elapsed.Microseconds())
 	}
 	return resp
+}
+
+// effectiveStrategy resolves the strategy a just-executed statement should
+// be attributed to; see the recordQuery call site.
+func effectiveStrategy(sess *plan.Session) engine.Strategy {
+	if strat, _, ok := sess.PlannedJoin(); ok {
+		return strat
+	}
+	strat, _ := sess.Strategy.Physical()
+	return strat
 }
 
 // eval runs one statement with panic containment: the engine panics on
 // some invalid cross-relation states (e.g. joining a stale CREATE TABLE
 // snapshot against a regenerated workload with conflicting base-event
 // probabilities), and an untrusted client must not be able to take the
-// shared server down with one — the panic becomes that query's error and
-// the session (and every other session) lives on.
+// shared server down with one. shell.Core.Eval converts the panic into
+// that query's error (every surface shares the containment); the server
+// additionally logs it — a panic is worth an operator's attention even
+// though the session lives on — and keeps a last-resort recover for
+// panics raised outside Core.Eval's own guard.
 func (s *Server) eval(core *shell.Core, ctx context.Context, query string) (res shell.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -275,7 +300,11 @@ func (s *Server) eval(core *shell.Core, ctx context.Context, query string) (res 
 			res, err = shell.Result{}, fmt.Errorf("query panic: %v", r)
 		}
 	}()
-	return core.Eval(ctx, query)
+	res, err = core.Eval(ctx, query)
+	if shell.IsPanicError(err) {
+		s.logf("%v", err)
+	}
+	return res, err
 }
 
 // builtin intercepts server-level commands that exist only on the remote

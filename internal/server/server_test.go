@@ -439,3 +439,96 @@ func TestQuitClosesSession(t *testing.T) {
 		t.Error("query after \\q must fail: connection is closed")
 	}
 }
+
+// TestAutoStrategyMetrics: the default (SET strategy = auto) session's
+// cost-based picks are counted per physical strategy in
+// tpserverd_auto_strategy_total, while forced SET strategies are not.
+func TestAutoStrategyMetrics(t *testing.T) {
+	cat := testCatalog(t)
+	_, addr := startServer(t, cat, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Join-free queries make no pick.
+	if _, err := c.Query(ctx, "SELECT * FROM a"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query(ctx, `\metrics`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Message, `tpserverd_auto_strategy_total{strategy="NJ"} 0`) {
+		t.Errorf("join-free query must not count a pick:\n%s", resp.Message)
+	}
+
+	// A Fig. 1a join under the default session: the picker chooses NJ
+	// (tiny, selective input) and the pick is counted; EXPLAIN plans a
+	// join too, so it also counts.
+	if _, err := c.Query(ctx, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Query(ctx, "EXPLAIN SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Message, "strategy=NJ (auto)") || !strings.Contains(r.Message, "cost: NJ=") {
+		t.Errorf("auto EXPLAIN must show the pick and the cost estimates:\n%s", r.Message)
+	}
+	resp, err = c.Query(ctx, `\metrics`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Message, `tpserverd_auto_strategy_total{strategy="NJ"} 2`) {
+		t.Errorf("auto picks not counted:\n%s", resp.Message)
+	}
+
+	// Forced strategies bypass the picker and the counter.
+	if _, err := c.Query(ctx, "SET strategy = ta"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(ctx, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Query(ctx, `\metrics`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Message, `tpserverd_auto_strategy_total{strategy="TA"} 0`) {
+		t.Errorf("forced TA must not count as an auto pick:\n%s", resp.Message)
+	}
+	if !strings.Contains(resp.Message, `tpserverd_strategy_queries_total{strategy="TA"} 1`) {
+		t.Errorf("forced TA query not attributed:\n%s", resp.Message)
+	}
+	// The NJ pick count must not have moved: SET statements, backslash
+	// commands and forced queries plan no auto join, and a statement that
+	// never reaches the planner must not leak the previous statement's
+	// pick into the counter.
+	if !strings.Contains(resp.Message, `tpserverd_auto_strategy_total{strategy="NJ"} 2`) {
+		t.Errorf("stale planned-join state leaked into the auto counter:\n%s", resp.Message)
+	}
+}
+
+// TestStatsBuiltinOverWire: \stats goes through the shared Core, so the
+// remote surface renders it byte-identically to the REPL.
+func TestStatsBuiltinOverWire(t *testing.T) {
+	cat := testCatalog(t)
+	_, addr := startServer(t, cat, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Query(context.Background(), `\stats w_r`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"w_r: 150 tuples", "Key:", "group mean", "time: span"} {
+		if !strings.Contains(resp.Message, want) {
+			t.Errorf("\\stats over the wire missing %q:\n%s", want, resp.Message)
+		}
+	}
+}

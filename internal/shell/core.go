@@ -80,7 +80,25 @@ func PreloadFig1a(cat *catalog.Catalog) {
 // ctx and returns a structured result. Errors are returned, never
 // rendered; cancellation or deadline expiry during query execution
 // surfaces as ctx.Err().
-func (c *Core) Eval(ctx context.Context, line string) (Result, error) {
+//
+// Eval contains panics: the engine panics on some invalid cross-relation
+// states — e.g. joining a stale CREATE TABLE AS snapshot against a
+// regenerated workload with conflicting base-event probabilities
+// (tp.MergeProbs), or evaluating a derived lineage whose base events were
+// dropped (prob.Evaluator). Those are per-query data problems, not
+// session corruption, so every surface (the interactive REPL exactly like
+// the server) converts them into that query's error and lives on.
+func (c *Core) Eval(ctx context.Context, line string) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = Result{}, panicError{v: r}
+		}
+	}()
+	// Clear the session's planned-join record before dispatch: inputs
+	// that never reach plan.Build (SET, backslash commands, parse
+	// errors) must not leak the previous statement's strategy pick into
+	// per-query accounting.
+	c.Session.ResetPlanned()
 	line = strings.TrimSpace(line)
 	if line == "" {
 		return Result{Kind: KindNone}, nil
@@ -89,6 +107,21 @@ func (c *Core) Eval(ctx context.Context, line string) (Result, error) {
 		return c.command(line)
 	}
 	return c.statement(ctx, line)
+}
+
+// panicError wraps a recovered query panic; see Core.Eval and
+// IsPanicError.
+type panicError struct{ v any }
+
+func (e panicError) Error() string { return fmt.Sprintf("query panic: %v", e.v) }
+
+// IsPanicError reports whether err is a query panic converted by
+// Core.Eval's containment. The server logs these — a panic is a data
+// problem worth an operator's attention even though the session
+// survives it.
+func IsPanicError(err error) bool {
+	var p panicError
+	return errors.As(err, &p)
 }
 
 // usageError marks errors whose text is a usage line (or unknown-command
@@ -204,6 +237,17 @@ func (c *Core) command(line string) (Result, error) {
 			return Result{}, fmt.Errorf("no relation %s", fields[1])
 		}
 		return message("dropped %s\n", fields[1]), nil
+	case `\stats`:
+		// The statistics the cost-based strategy picker consumes,
+		// computed lazily and cached on the catalog.
+		if len(fields) != 2 {
+			return Result{}, usagef(`usage: \stats <name>`)
+		}
+		rel, err := c.Catalog.Lookup(fields[1])
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Kind: KindMessage, Text: c.Catalog.Stats(rel).Render(fields[1])}, nil
 	case `\help`, `\?`:
 		return Result{Kind: KindMessage, Text: helpText}, nil
 	default:

@@ -65,11 +65,19 @@ const helpText = `statements:
                                 time and strategy stage counters; a query
                                 aborted by its timeout reports the abort
                                 reason per node
-  SET strategy = nj|ta|pnj
+  SET strategy = auto|nj|ta|pnj
+                                auto (the default) picks the cheapest
+                                strategy per join from catalog statistics;
+                                nj/ta/pnj force one. EXPLAIN shows the
+                                choice, per-strategy cost estimates and
+                                the input stats used
   SET ta_nested_loop = on|off
   SET join_workers = <n>        PNJ workers (0 = one per CPU)
 commands:
   \d                      list relations
+  \stats <name>           relation statistics (tuples, per-column distinct
+                          values and group sizes, temporal span/overlap) —
+                          what the auto strategy picker uses
   \load <name> <file>     load CSV (base relations)
   \save <name> <file>     save CSV
   \loadb <name> <file>    load binary .tpr (derived relations, full lineage)

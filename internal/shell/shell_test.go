@@ -5,6 +5,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tpjoin/internal/interval"
+	"tpjoin/internal/tp"
 )
 
 func run(t *testing.T, sh *Shell, line string) string {
@@ -198,5 +201,59 @@ func TestOrderByInShell(t *testing.T) {
 	out := run(t, sh, "SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc ORDER BY P DESC LIMIT 1")
 	if !strings.Contains(out, "Jim") {
 		t.Errorf("most probable anti-join row must be Jim (0.8):\n%s", out)
+	}
+}
+
+func TestStatsBuiltin(t *testing.T) {
+	sh := newShell()
+	out := run(t, sh, `\stats b`)
+	for _, want := range []string{
+		"b: 3 tuples, 2 columns",
+		"Hotel: 3 distinct, 0 null, group mean 1.0 max 1",
+		"Loc: 2 distinct, 0 null, group mean 1.5 max 2",
+		"time: span [1,8)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("\\stats missing %q:\n%s", want, out)
+		}
+	}
+	if out := run(t, sh, `\stats`); !strings.Contains(out, "usage") {
+		t.Errorf("\\stats without a name must print usage: %s", out)
+	}
+	if out := run(t, sh, `\stats nope`); !strings.Contains(out, "error") {
+		t.Errorf("\\stats on a missing relation must error: %s", out)
+	}
+}
+
+// TestQueryPanicBecomesError pins the REPL's panic containment, mirroring
+// the server's: an engine panic (here tp.MergeProbs' conflicting
+// base-event probabilities, the state a stale CREATE TABLE AS snapshot
+// joined against a regenerated workload produces) becomes that query's
+// error instead of killing the whole shell.
+func TestQueryPanicBecomesError(t *testing.T) {
+	sh := newShell()
+	x := tp.NewRelation("x", "K")
+	x.Append(tp.Strings("k"), interval.New(0, 5), 0.5)
+	// y claims a different probability for x's base event x1: build it
+	// under the name "x" (so Append assigns the same lineage variable)
+	// and rename before registration.
+	y := tp.NewRelation("x", "K")
+	y.Append(tp.Strings("k"), interval.New(0, 5), 0.7)
+	y.Name = "y"
+	if err := sh.Catalog().Register(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Catalog().Register(y); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, sh, "SELECT * FROM x TP JOIN y ON x.K = y.K")
+	if !strings.Contains(out, "error: query panic:") ||
+		!strings.Contains(out, "conflicting probabilities") {
+		t.Errorf("panic must surface as a query error:\n%s", out)
+	}
+	// The session survives and keeps working.
+	out = run(t, sh, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if !strings.Contains(out, "(7 rows)") {
+		t.Errorf("shell did not survive the panic:\n%s", out)
 	}
 }

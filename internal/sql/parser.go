@@ -67,9 +67,16 @@ func (p *Parser) statement() (Statement, error) {
 }
 
 func (p *Parser) setStmt() (Statement, error) {
-	name, err := p.ident("setting name")
-	if err != nil {
-		return nil, err
+	// Setting names are ordinary identifiers, but a name that happens to
+	// collide with a dialect keyword (SET analyze = ...) must still parse
+	// — plan.Session.ApplySet owns name validation and reports unknown
+	// settings with the accepted alternatives.
+	var name string
+	if p.at(TokIdent, "") || p.at(TokKeyword, "") {
+		name = p.cur().Text
+		p.i++
+	} else {
+		return nil, p.errf("expected setting name, got %q", p.cur().Text)
 	}
 	if !p.accept(TokSymbol, "=") {
 		return nil, p.errf("expected '=' in SET, got %q", p.cur().Text)

@@ -180,6 +180,25 @@ func TestParseSet(t *testing.T) {
 	if st.(*Set).Value != "nj" {
 		t.Errorf("quoted set value wrong")
 	}
+	// Keyword values and keyword-colliding names must parse (the planner
+	// owns validation and reports unknown names/values with the accepted
+	// alternatives); the lexer upper-cases keywords.
+	st, err = Parse("SET strategy = select")
+	if err != nil {
+		t.Fatalf("keyword value must parse: %v", err)
+	}
+	if st.(*Set).Value != "SELECT" {
+		t.Errorf("keyword value wrong: %+v", st)
+	}
+	st, err = Parse("SET analyze = on")
+	if err != nil {
+		t.Fatalf("keyword-colliding setting name must parse: %v", err)
+	}
+	// ON is a keyword too, so both sides surface upper-cased; ApplySet
+	// normalizes case.
+	if st.(*Set).Name != "ANALYZE" || st.(*Set).Value != "ON" {
+		t.Errorf("keyword name wrong: %+v", st)
+	}
 }
 
 func TestParseErrors(t *testing.T) {
