@@ -14,6 +14,13 @@
 //	                        # B/op per figure panel and strategy, measured
 //	                        # with testing.Benchmark (tracks the perf
 //	                        # trajectory; see BENCH_*.json at the repo root)
+//	tpbench -calibrate internal/plan/calibration.json
+//	                        # measure the cost model's per-primitive
+//	                        # constants on this host and write them as a
+//	                        # plan.Calibration JSON (the checked-in default
+//	                        # the auto picker prices with; sessions load
+//	                        # others via SET calibration = '<file>').
+//	                        # -quick shrinks the workloads for smoke runs.
 //
 // Output format mirrors the paper's plots: one row per input size (in K),
 // one column per series, runtimes in milliseconds. Speedup summaries
@@ -30,6 +37,7 @@ import (
 	"strings"
 
 	"tpjoin/internal/bench"
+	"tpjoin/internal/plan"
 )
 
 func main() {
@@ -42,9 +50,42 @@ func main() {
 		extensions = flag.Bool("extensions", false, "also run the anti-join and full-outer-join extensions")
 		ablation   = flag.String("ablation", "", "run an ablation instead of the figures: selectivity or groups")
 		jsonPath   = flag.String("json", "", "write a machine-readable benchmark run (ns/op, allocs/op, B/op) to this file instead of text figures")
-		label      = flag.String("label", "tpbench", "label recorded in the -json run")
+		label      = flag.String("label", "tpbench", "label recorded in the -json run or -calibrate file")
+		calibrate  = flag.String("calibrate", "", "measure the cost model's per-primitive constants and write a plan.Calibration JSON to this file")
+		quick      = flag.Bool("quick", false, "with -calibrate: shrink the measurement workloads (CI smoke mode)")
 	)
 	flag.Parse()
+
+	if *calibrate != "" {
+		// The -repeats default (1) suits the text figures; calibration
+		// wants its own min-of-5 default, so the flag only overrides it
+		// when explicitly set.
+		calRepeats := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "repeats" {
+				calRepeats = *repeats
+			}
+		})
+		cal := bench.Calibrate(bench.CalibrateOptions{Quick: *quick, Repeats: calRepeats, Label: *label})
+		data, err := cal.MarshalIndent()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*calibrate, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(1)
+		}
+		// Round-trip the file through the loader the SET command and the
+		// embedded default use: an emitted calibration that plan cannot
+		// parse back is a bug worth failing loudly on.
+		if _, err := plan.LoadCalibration(*calibrate); err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: emitted calibration does not round-trip: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("calibration written to %s (round-trip ok)\n%s", *calibrate, bench.CalibrationReport(cal))
+		return
+	}
 
 	opt := bench.Options{Seed: *seed, Repeats: *repeats}
 	if *sizesStr != "" {

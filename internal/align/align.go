@@ -19,12 +19,35 @@
 //
 // The structural redundancies relative to the paper's NJ approach are kept
 // deliberately, because they are precisely what the evaluation measures:
-// tuple replication in step 1, a second execution of the expensive
-// conventional join in step 2, re-computation of both joins by the second
-// sub-query in step 3, and the duplicate-eliminating union. Config's
-// NestedLoop flag mirrors the plan PostgreSQL's optimizer chose for TA in
-// the paper's experiments (a nested loop for r ⟕_{θo∧θ} s); hash
-// partitioning can be enabled for ablations.
+// tuple replication in step 1, the per-fragment cover computation of
+// step 2, re-computation of both joins' *output* by the second sub-query
+// in step 3, and the duplicate-eliminating union. Config's NestedLoop flag
+// mirrors the plan PostgreSQL's optimizer chose for TA in the paper's
+// experiments (a nested loop for r ⟕_{θo∧θ} s); hash partitioning can be
+// enabled for ablations.
+//
+// Since the batched-substrate refactor the hash path runs on the same
+// allocation-lean machinery as internal/core's NJ pipeline: the inner
+// relation is hash-partitioned once per join by its interned equi key
+// (tp.KeyGroups over tp.EquiTheta.SKeyHash), and each key group is
+// compiled into an endpoint event list — the group's sorted unique
+// interval endpoints plus, per elementary segment between consecutive
+// endpoints, the covering tuples in one flat arena. Both conventional
+// joins of an alignment pass then stream off that index (split points by
+// binary search, covers as borrowed arena slices), and the index is built
+// once per join direction and reused across both alignment passes of an
+// outer join and both sub-queries of a negation join. What stays per pass
+// is exactly what the paper measures — every pass re-enumerates its
+// fragments, re-emits the unmatched rows, and the union re-deduplicates
+// them; what is gone is the incidental churn (per-tuple sort, per-fragment
+// cover allocations, per-probe rescans). The pre-refactor implementation
+// is retained as ScalarAlign (scalar.go) and the two are property-tested
+// byte-identical; the nested-loop plan and non-equi θ still execute the
+// scalar path, whose full rescans are the measured cost.
+//
+// ParallelJoin (parallel.go) is the partitioned-parallel TA executor
+// (engine strategy "pta"): the PNJ parallelism model applied to the
+// alignment baseline.
 //
 // The produced relations are point-wise equal to internal/core's results
 // (property-tested), differing only in how pairings are fragmented.
@@ -33,7 +56,9 @@ package align
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"tpjoin/internal/interval"
 	"tpjoin/internal/lineage"
@@ -53,6 +78,9 @@ type Config struct {
 // fragments the alignment passes produced and how many times the
 // alignment (both conventional joins) ran — joins with negation re-run it
 // per sub-query, which is exactly the redundancy the paper measures.
+// Under the parallel executor (ParallelJoin) Workers and Partitions
+// additionally record the partitioning, and the other counters aggregate
+// over all partitions.
 type Stats struct {
 	// Fragments is the total fragment count across alignment passes.
 	Fragments int64
@@ -61,6 +89,11 @@ type Stats struct {
 	// Rows is the output row count before the duplicate-eliminating
 	// union.
 	Rows int64
+	// Workers is the effective worker count of a ParallelJoin (0 for the
+	// sequential baseline).
+	Workers int64
+	// Partitions is the partition count of a ParallelJoin.
+	Partitions int64
 }
 
 // alignCancelCheck is how many outer tuples an alignment pass processes
@@ -68,6 +101,14 @@ type Stats struct {
 // joins dwarfs the (atomic-load) check, so cancellation bites within a
 // few tuples' worth of work without showing up in profiles.
 const alignCancelCheck = 64
+
+// drainCancelWork bounds the work (fragments plus cover entries plus
+// candidate scans) done between context checks *inside* one outer tuple's
+// fragment drain. The per-64-tuples check alone is not enough: one outer
+// tuple against a single huge key group drains λ·fragments rows before
+// the next tuple boundary, so a pathological one-key relation would
+// otherwise run a cancelled alignment to completion.
+const drainCancelWork = 4096
 
 // Fragment is one aligned piece of an outer tuple together with the inner
 // tuples covering it. It corresponds to one replicated tuple of the TODS
@@ -78,129 +119,342 @@ type Fragment struct {
 	Cover []int             // indexes of matching inner tuples covering T
 }
 
-// indexedInner is the probe-side access path shared by both joins: either
-// hashed equi-key groups (tp.KeyGroups over the interned keys) or a plain
-// slice (nested loop).
-type indexedInner struct {
-	s       *tp.Relation
-	eq      tp.EquiTheta
-	hasEq   bool
-	buckets *tp.KeyGroups[int]
-	all     []int // identity permutation for the nested-loop path
+// emitFunc receives one aligned fragment: the outer tuple index, the
+// fragment interval and the covering inner tuple indexes. The cover slice
+// is borrowed — valid only until emit returns.
+type emitFunc func(ri int, t interval.Interval, cover []int32) error
+
+// aligner runs the two conventional joins of one alignment direction,
+// streaming every fragment to emit in outer-tuple order. A non-nil error
+// from emit (or from the query context) aborts the drain. release returns
+// pooled buffers; the aligner must not be used afterwards. cheapCount
+// reports whether an extra counting drain is nearly free (the indexed
+// pipeline) or re-runs the full conventional joins (the nested-loop
+// reference, where an extra pass would inflate the measured plan by half).
+type aligner interface {
+	drain(ctx context.Context, r *tp.Relation, emit emitFunc) error
+	cheapCount() bool
+	release()
 }
 
-func buildInner(s *tp.Relation, theta tp.Theta, cfg Config) *indexedInner {
-	ix := &indexedInner{s: s}
+// newAligner builds the probe-side index for one join direction: the
+// indexed event-list pipeline for hash-partitionable conditions, the
+// scalar reference for the nested-loop plan and non-equi θ.
+func newAligner(s *tp.Relation, theta tp.Theta, cfg Config) aligner {
 	if eq, ok := theta.(tp.EquiTheta); ok && !cfg.NestedLoop {
-		ix.eq = eq
-		ix.hasEq = true
-		ix.buckets = tp.NewKeyGroups[int]()
-		for i := range s.Tuples {
-			h, ok := eq.SKeyHash(s.Tuples[i].Fact)
-			if !ok {
-				continue
-			}
-			g := ix.buckets.Group(h, s.Tuples[i].Fact, eq.SKeyEqual)
-			g.Vals = append(g.Vals, i)
-		}
-		return ix
+		return newIndexedAligner(s, eq)
 	}
-	ix.all = make([]int, len(s.Tuples))
-	for i := range ix.all {
-		ix.all[i] = i
+	return newScalarAligner(s, theta, cfg)
+}
+
+// groupMeta locates one key group's compiled event list inside the
+// indexedAligner's flat arenas.
+type groupMeta struct {
+	bLo int32 // start of the group's bounds span
+	bN  int32 // number of bounds (segments = bN-1)
+	oLo int32 // start of the group's bN segment offsets in segOff
+}
+
+// indexedAligner is the batched-substrate alignment pipeline for one join
+// direction (inner relation s under an equi θ). Building it costs one
+// pass to hash-group s by its interned key plus, per group, an endpoint
+// sort and a counting-sort of the segment covers into flat arenas;
+// draining an outer relation against it is then output-linear — split
+// points by binary search into the group's bounds, covers as borrowed
+// arena slices — with no per-tuple or per-fragment allocations. One
+// instance serves every alignment pass of a join (sub-queries A and B
+// re-drain it; the re-enumeration is the measured redundancy, the index
+// reuse is not).
+type indexedAligner struct {
+	s      *tp.Relation
+	eq     tp.EquiTheta
+	groups *tp.KeyGroups[int32]
+	gmeta  []groupMeta
+	bounds []interval.Time // per group: sorted unique interval endpoints
+	segOff []int32         // per group: bN offsets into cover (segment j spans segOff[j]..segOff[j+1])
+	cover  []int32         // per segment: covering tuple indexes, ascending
+
+	// build scratch, reused across groups
+	scratch []interval.Time
+	diff    []int32
+	cur     []int32
+	built   bool
+
+	// fallback replaces the index when building it would be pathological
+	// (see maxCoverArena): the scalar reference computes the same
+	// fragments in O(n) extra memory.
+	fallback *scalarAligner
+}
+
+// maxCoverArena bounds the cover arena (entries): the per-segment covers
+// total Σ active ≈ the overlapping same-key pairs, which a skewed one-key
+// relation makes quadratic — unbounded, the arena would exhaust memory
+// (and overflow its int32 offsets) where the scalar reference needs only
+// O(n) extra space. Past the bound the aligner falls back to the scalar
+// path for the whole join; it is a var so tests can exercise the
+// fallback cheaply.
+var maxCoverArena = int64(1) << 26
+
+// alignerPool recycles indexedAligner arenas across joins (a query's
+// outer join builds one per direction; the pool makes repeated queries
+// against catalog relations allocation-lean). Oversized arenas are
+// dropped on release so a one-off huge join does not pin its memory.
+var alignerPool = sync.Pool{New: func() any {
+	return &indexedAligner{groups: tp.NewKeyGroups[int32]()}
+}}
+
+// poolArenaCap bounds the cover-arena capacity (entries) an aligner may
+// carry back into the pool.
+const poolArenaCap = 1 << 20
+
+func newIndexedAligner(s *tp.Relation, eq tp.EquiTheta) *indexedAligner {
+	ix := alignerPool.Get().(*indexedAligner)
+	ix.s, ix.eq = s, eq
+	ix.groups.Reset()
+	ix.gmeta = ix.gmeta[:0]
+	ix.bounds = ix.bounds[:0]
+	ix.segOff = ix.segOff[:0]
+	ix.cover = ix.cover[:0]
+
+	// Hash-group the inner relation by its interned equi key. Tuples with
+	// NULL key columns match nothing and never cover anything; empty
+	// intervals can neither split nor cover. Both are excluded here, which
+	// is exactly how the scalar reference's overlap/containment checks
+	// treat them.
+	for i := range s.Tuples {
+		t := &s.Tuples[i]
+		if t.T.Empty() {
+			continue
+		}
+		h, ok := eq.SKeyHash(t.Fact)
+		if !ok {
+			continue
+		}
+		g := ix.groups.Group(h, t.Fact, eq.SKeyEqual)
+		g.Vals = append(g.Vals, int32(i))
 	}
 	return ix
 }
 
-// candidates returns the inner tuple indexes that can possibly match the
-// fact (all of them under nested loop).
-func (ix *indexedInner) candidates(f tp.Fact) []int {
-	if ix.hasEq {
-		h, ok := ix.eq.RKeyHash(f)
-		if !ok {
-			return nil
-		}
-		// Group facts are s facts; compare s key columns against the
-		// probe's r key columns.
-		gi := ix.buckets.Find(h, f, func(group, probe tp.Fact) bool {
-			return ix.eq.KeyMatch(probe, group)
-		})
-		if gi < 0 {
-			return nil
-		}
-		return ix.buckets.Groups()[gi].Vals
+func (ix *indexedAligner) cheapCount() bool { return true }
+
+func (ix *indexedAligner) release() {
+	ix.s = nil
+	ix.built = false
+	ix.fallback = nil
+	if cap(ix.cover) > poolArenaCap {
+		return // drop oversized arenas instead of pinning them in the pool
 	}
-	return ix.all
+	alignerPool.Put(ix)
+}
+
+// build compiles every key group's endpoint event list. It is separated
+// from construction so the (potentially large) arena build observes the
+// query context: the cover arena scales with the overlapping same-key
+// pairs, which a pathological one-key relation makes quadratic — past
+// maxCoverArena the aligner switches to the scalar fallback instead.
+func (ix *indexedAligner) build(ctx context.Context) error {
+	if ix.built {
+		return nil
+	}
+	groups := ix.groups.Groups()
+	ix.gmeta = slices.Grow(ix.gmeta, len(groups))
+	work := 0
+	for gi := range groups {
+		vals := groups[gi].Vals
+
+		// Sorted unique endpoints of the group's tuples.
+		ix.scratch = ix.scratch[:0]
+		for _, si := range vals {
+			t := ix.s.Tuples[si].T
+			ix.scratch = append(ix.scratch, t.Start, t.End)
+		}
+		slices.Sort(ix.scratch)
+		bounds := dedupTimes(ix.scratch) // defined in scalar.go, shared
+		m := groupMeta{bLo: int32(len(ix.bounds)), bN: int32(len(bounds)), oLo: int32(len(ix.segOff))}
+		ix.bounds = append(ix.bounds, bounds...)
+		segs := int(m.bN) - 1
+
+		// Counting pass: per elementary segment, how many tuples are
+		// active (difference array over the tuples' segment spans).
+		// Reuse the scratch in place — no per-group temporaries. The
+		// 64-bit span total guards the arena: the per-segment covers sum
+		// to the overlapping same-key pairs, which a skewed one-key
+		// relation makes quadratic — past maxCoverArena (or anywhere near
+		// the arenas' int32 offsets) the whole join falls back to the
+		// scalar path, which computes the same fragments in O(n) extra
+		// memory.
+		ix.diff = slices.Grow(ix.diff[:0], segs+1)[:segs+1]
+		clear(ix.diff)
+		b := ix.bounds[m.bLo : m.bLo+m.bN]
+		spanTotal := int64(len(ix.cover))
+		for _, si := range vals {
+			t := ix.s.Tuples[si].T
+			a, _ := slices.BinarySearch(b, t.Start)
+			e, _ := slices.BinarySearch(b, t.End)
+			ix.diff[a]++
+			ix.diff[e]--
+			spanTotal += int64(e - a)
+		}
+		if spanTotal > maxCoverArena {
+			ix.fallback = newScalarAligner(ix.s, ix.eq, Config{})
+			ix.bounds = ix.bounds[:0]
+			ix.segOff = ix.segOff[:0]
+			ix.cover = ix.cover[:0]
+			ix.gmeta = ix.gmeta[:0]
+			ix.built = true
+			return nil
+		}
+		// Prefix-sum into cover offsets (absolute into the arena).
+		off := int32(len(ix.cover))
+		run := int32(0)
+		ix.cur = ix.cur[:0]
+		for j := 0; j < segs; j++ {
+			ix.segOff = append(ix.segOff, off)
+			ix.cur = append(ix.cur, off)
+			run += ix.diff[j]
+			off += run
+		}
+		ix.segOff = append(ix.segOff, off)
+		// Fill pass: scatter each tuple into its segments. Iterating vals
+		// in ascending tuple order keeps every segment's cover sorted —
+		// the order the scalar reference's candidate scan produces. The
+		// arena extension needs no zeroing: the cursors write every slot
+		// of the new span exactly once.
+		ix.cover = slices.Grow(ix.cover, int(off)-len(ix.cover))[:off]
+		for _, si := range vals {
+			t := ix.s.Tuples[si].T
+			a, _ := slices.BinarySearch(b, t.Start)
+			e, _ := slices.BinarySearch(b, t.End)
+			for j := a; j < e; j++ {
+				ix.cover[ix.cur[j]] = si
+				ix.cur[j]++
+			}
+			if work += e - a + 1; work >= drainCancelWork {
+				work = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
+		ix.gmeta = append(ix.gmeta, m)
+	}
+	ix.built = true
+	return nil
+}
+
+func (ix *indexedAligner) drain(ctx context.Context, r *tp.Relation, emit emitFunc) error {
+	if err := ix.build(ctx); err != nil {
+		return err
+	}
+	if ix.fallback != nil {
+		return ix.fallback.drain(ctx, r, emit)
+	}
+	work := 0
+	for ri := range r.Tuples {
+		if ri%alignCancelCheck == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		rt := &r.Tuples[ri]
+		if rt.T.Empty() {
+			continue // no fragments, matching the scalar reference
+		}
+		var m groupMeta
+		found := false
+		if h, ok := ix.eq.RKeyHash(rt.Fact); ok {
+			gi := ix.groups.Find(h, rt.Fact, func(group, probe tp.Fact) bool {
+				return ix.eq.KeyMatch(probe, group)
+			})
+			if gi >= 0 {
+				m = ix.gmeta[gi]
+				found = true
+			}
+		}
+		if !found {
+			if err := emit(ri, rt.T, nil); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Fragment boundaries: the group endpoints strictly inside the
+		// tuple's interval (all of them belong to overlapping, matching
+		// tuples — an endpoint inside (start,end) implies overlap, and
+		// group membership implies θ). Each fragment lies within one
+		// elementary segment of the group's endpoint partition, so its
+		// cover is that segment's precomputed active list.
+		b := ix.bounds[m.bLo : m.bLo+m.bN]
+		lo := sort.Search(len(b), func(i int) bool { return b[i] > rt.T.Start })
+		p := rt.T.Start
+		seg := lo - 1
+		for k := lo; k < len(b) && b[k] < rt.T.End; k++ {
+			cov := ix.segCover(m, seg)
+			if err := emit(ri, interval.Interval{Start: p, End: b[k]}, cov); err != nil {
+				return err
+			}
+			if work += len(cov) + 1; work >= drainCancelWork {
+				work = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			p = b[k]
+			seg = k
+		}
+		cov := ix.segCover(m, seg)
+		if err := emit(ri, interval.Interval{Start: p, End: rt.T.End}, cov); err != nil {
+			return err
+		}
+		if work += len(cov) + 1; work >= drainCancelWork {
+			work = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// segCover returns the covering tuples of elementary segment seg of the
+// group, nil when the fragment lies outside the group's endpoint range.
+func (ix *indexedAligner) segCover(m groupMeta, seg int) []int32 {
+	if seg < 0 || seg >= int(m.bN)-1 {
+		return nil
+	}
+	return ix.cover[ix.segOff[m.oLo+int32(seg)]:ix.segOff[m.oLo+int32(seg)+1]]
+}
+
+// materializeFragments drains al over r into a Fragment slice (the
+// compatibility shape of Align/ScalarAlign; the join paths stream
+// instead).
+func materializeFragments(al aligner, r *tp.Relation) []Fragment {
+	var out []Fragment
+	_ = al.drain(context.Background(), r, func(ri int, t interval.Interval, cover []int32) error {
+		f := Fragment{RID: ri, T: t}
+		if len(cover) > 0 {
+			f.Cover = make([]int, len(cover))
+			for i, si := range cover {
+				f.Cover[i] = int(si)
+			}
+		}
+		out = append(out, f)
+		return nil
+	})
+	return out
 }
 
 // Align performs the two conventional joins of the TA reduction for one
 // direction: it splits every outer tuple at the boundaries of its matching
 // inner tuples (join 1) and computes, for every fragment, the covering
 // matching inner tuples (join 2). The fragments of each outer tuple
-// partition its validity interval.
+// partition its validity interval. Align materializes the fragments for
+// inspection; the join paths stream them instead.
 func Align(r, s *tp.Relation, theta tp.Theta, cfg Config) []Fragment {
-	out, _ := alignCtx(context.Background(), r, s, theta, cfg)
-	return out
-}
-
-// alignCtx is Align under a query context: the outer loop observes ctx
-// every alignCancelCheck tuples, so a timeout or disconnect aborts the
-// blocking alignment mid-pass instead of running it to completion.
-func alignCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config) ([]Fragment, error) {
-	ix := buildInner(s, theta, cfg)
-	var out []Fragment
-
-	for ri := range r.Tuples {
-		if ri%alignCancelCheck == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		rt := &r.Tuples[ri]
-
-		// Conventional join 1: collect the split points of the matching,
-		// overlapping inner tuples. This is where TA replicates tuples.
-		points := []interval.Time{rt.T.Start, rt.T.End}
-		for _, si := range ix.candidates(rt.Fact) {
-			st := &s.Tuples[si]
-			if !st.T.Overlaps(rt.T) || !theta.Match(rt.Fact, st.Fact) {
-				continue
-			}
-			if st.T.Start > rt.T.Start {
-				points = append(points, st.T.Start)
-			}
-			if st.T.End < rt.T.End {
-				points = append(points, st.T.End)
-			}
-		}
-		sort.Slice(points, func(i, j int) bool { return points[i] < points[j] })
-		points = dedupTimes(points)
-
-		// Conventional join 2: re-probe the inner relation for every
-		// fragment to find its covering tuples. TA pays this second join;
-		// NJ derives the same information from the single overlap join.
-		for i := 0; i+1 < len(points); i++ {
-			frag := Fragment{RID: ri, T: interval.New(points[i], points[i+1])}
-			for _, si := range ix.candidates(rt.Fact) {
-				st := &s.Tuples[si]
-				if st.T.ContainsInterval(frag.T) && theta.Match(rt.Fact, st.Fact) {
-					frag.Cover = append(frag.Cover, si)
-				}
-			}
-			out = append(out, frag)
-		}
-	}
-	return out, nil
-}
-
-func dedupTimes(ts []interval.Time) []interval.Time {
-	out := ts[:0]
-	for i, t := range ts {
-		if i == 0 || t != out[len(out)-1] {
-			out = append(out, t)
-		}
-	}
-	return out
+	al := newAligner(s, theta, cfg)
+	defer al.release()
+	return materializeFragments(al, r)
 }
 
 // row is one not-yet-deduplicated output tuple.
@@ -211,66 +465,52 @@ type row struct {
 	pair bool // true for pairing rows (both sides present)
 }
 
-// outerRows is sub-query A of the TA reduction: the aligned outer join.
-// It produces the pairing fragments and the unmatched fragments.
-func outerRows(r, s *tp.Relation, theta tp.Theta, cfg Config, mirror bool) []row {
-	rows, _ := outerRowsCtx(context.Background(), r, s, theta, cfg, mirror, nil)
-	return rows
-}
-
-func outerRowsCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, mirror bool, stats *Stats) ([]row, error) {
-	frags, err := alignCtx(ctx, r, s, theta, cfg)
-	if err != nil {
-		return nil, err
-	}
-	if stats != nil {
-		stats.AlignPasses++
-		stats.Fragments += int64(len(frags))
-	}
-	var rows []row
-	for _, f := range frags {
-		rt := &r.Tuples[f.RID]
-		if len(f.Cover) == 0 {
+// outerRowsStream is sub-query A of the TA reduction: the aligned outer
+// join. It appends the pairing fragments and the unmatched fragments to
+// rows.
+func outerRowsStream(ctx context.Context, al aligner, r, s *tp.Relation, cfg Config, mirror bool, stats *Stats, rows []row) ([]row, error) {
+	frags := int64(0)
+	err := al.drain(ctx, r, func(ri int, t interval.Interval, cover []int32) error {
+		frags++
+		rt := &r.Tuples[ri]
+		if len(cover) == 0 {
 			fact := rt.Fact.Concat(tp.Nulls(s.Arity()))
 			if mirror {
 				fact = tp.Nulls(s.Arity()).Concat(rt.Fact)
 			}
-			rows = append(rows, row{fact: fact, lam: rt.Lineage, t: f.T})
-			continue
+			rows = append(rows, row{fact: fact, lam: rt.Lineage, t: t})
+			return nil
 		}
-		for _, si := range f.Cover {
+		for _, si := range cover {
 			st := &s.Tuples[si]
 			fact := rt.Fact.Concat(st.Fact)
 			if mirror {
 				fact = st.Fact.Concat(rt.Fact)
 			}
-			rows = append(rows, row{fact: fact, lam: lineage.And(rt.Lineage, st.Lineage), t: f.T, pair: true})
+			rows = append(rows, row{fact: fact, lam: lineage.And(rt.Lineage, st.Lineage), t: t, pair: true})
 		}
-	}
-	return rows, nil
-}
-
-// negRows is sub-query B of the TA reduction: the negated part. It aligns
-// the inputs *again* (re-running both conventional joins) and produces the
-// negated fragments — and, unavoidably, the unmatched fragments a second
-// time; the final union removes those duplicates.
-func negRows(r, s *tp.Relation, theta tp.Theta, cfg Config, mirror, antiSchema bool) []row {
-	rows, _ := negRowsCtx(context.Background(), r, s, theta, cfg, mirror, antiSchema, nil)
-	return rows
-}
-
-func negRowsCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, mirror, antiSchema bool, stats *Stats) ([]row, error) {
-	frags, err := alignCtx(ctx, r, s, theta, cfg)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	if stats != nil {
 		stats.AlignPasses++
-		stats.Fragments += int64(len(frags))
+		stats.Fragments += frags
 	}
-	var rows []row
-	for _, f := range frags {
-		rt := &r.Tuples[f.RID]
+	return rows, nil
+}
+
+// negRowsStream is sub-query B of the TA reduction: the negated part. It
+// re-drains the alignment (re-enumerating every fragment) and appends the
+// negated fragments — and, unavoidably, the unmatched fragments a second
+// time; the final union removes those duplicates.
+func negRowsStream(ctx context.Context, al aligner, r, s *tp.Relation, cfg Config, mirror, antiSchema bool, stats *Stats, rows []row) ([]row, error) {
+	frags := int64(0)
+	var parts []*lineage.Expr
+	err := al.drain(ctx, r, func(ri int, t interval.Interval, cover []int32) error {
+		frags++
+		rt := &r.Tuples[ri]
 		fact := rt.Fact.Concat(tp.Nulls(s.Arity()))
 		switch {
 		case antiSchema:
@@ -278,42 +518,72 @@ func negRowsCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Conf
 		case mirror:
 			fact = tp.Nulls(s.Arity()).Concat(rt.Fact)
 		}
-		if len(f.Cover) == 0 {
-			rows = append(rows, row{fact: fact, lam: rt.Lineage, t: f.T})
-			continue
+		if len(cover) == 0 {
+			rows = append(rows, row{fact: fact, lam: rt.Lineage, t: t})
+			return nil
 		}
-		parts := make([]*lineage.Expr, len(f.Cover))
-		for i, si := range f.Cover {
-			parts[i] = s.Tuples[si].Lineage
+		parts = parts[:0]
+		for _, si := range cover {
+			parts = append(parts, s.Tuples[si].Lineage)
 		}
-		rows = append(rows, row{fact: fact, lam: lineage.AndNot(rt.Lineage, lineage.Or(parts...)), t: f.T})
+		rows = append(rows, row{fact: fact, lam: lineage.AndNot(rt.Lineage, lineage.Or(parts...)), t: t})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if stats != nil {
+		stats.AlignPasses++
+		stats.Fragments += frags
 	}
 	return rows, nil
 }
 
 // unionDistinct implements the duplicate-eliminating union the paper
 // describes: the rows are sorted and equal (fact, interval, lineage) rows
-// are collapsed. This sort-based pass is part of TA's measured cost.
+// are collapsed. This sort-based pass is part of TA's measured cost — but
+// it runs on the batched substrate's terms: a stable sort over an index
+// permutation (generic, no reflection, no fat-struct swaps) with the same
+// (fact, interval, lineage-hash) order and input-order tie-breaking the
+// reference sort.SliceStable produced, so the output is byte-identical.
 func unionDistinct(rows []row) []row {
-	sort.SliceStable(rows, func(i, j int) bool {
-		a, b := rows[i], rows[j]
+	if len(rows) < 2 {
+		return rows
+	}
+	idx := make([]int32, len(rows))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(i, j int32) int {
+		a, b := &rows[i], &rows[j]
 		if c := a.fact.Compare(b.fact); c != 0 {
-			return c < 0
+			return c
 		}
 		if c := a.t.Compare(b.t); c != 0 {
-			return c < 0
+			return c
 		}
-		return a.lam.Hash() < b.lam.Hash()
+		ha, hb := a.lam.Hash(), b.lam.Hash()
+		switch {
+		case ha < hb:
+			return -1
+		case ha > hb:
+			return 1
+		default:
+			// The input index as the final tiebreaker makes the unstable
+			// sort reproduce the reference's stable order exactly.
+			return int(i) - int(j)
+		}
 	})
-	out := rows[:0]
-	for i, rw := range rows {
-		if i > 0 {
-			prev := out[len(out)-1]
+	out := make([]row, 0, len(rows))
+	for n, i := range idx {
+		rw := &rows[i]
+		if n > 0 {
+			prev := &out[len(out)-1]
 			if prev.fact.Equal(rw.fact) && prev.t.Equal(rw.t) && prev.lam.Equal(rw.lam) {
 				continue
 			}
 		}
-		out = append(out, rw)
+		out = append(out, *rw)
 	}
 	return out
 }
@@ -321,12 +591,53 @@ func unionDistinct(rows []row) []row {
 func finish(name string, attrs []string, probs prob.Probs, rows []row) *tp.Relation {
 	rel := &tp.Relation{Name: name, Attrs: attrs, Probs: probs}
 	ev := prob.NewEvaluator(probs)
+	rel.Tuples = make([]tp.Tuple, 0, len(rows))
 	for _, rw := range rows {
 		rel.Tuples = append(rel.Tuples, tp.Tuple{
 			Fact: rw.fact, Lineage: rw.lam, T: rw.t, Prob: ev.Prob(rw.lam),
 		})
 	}
 	return rel
+}
+
+// countRows sizes one alignment pass without forming rows: the row count
+// of sub-query A (pairings plus unmatched) and of sub-query B (one row
+// per fragment). The counting drain reuses the pass's index, so sizing
+// costs a fragment enumeration — cheap next to lineage and probability
+// work — and the row buffers below then grow exactly once.
+func countRows(ctx context.Context, al aligner, r *tp.Relation) (outRows, frags int, err error) {
+	err = al.drain(ctx, r, func(ri int, t interval.Interval, cover []int32) error {
+		frags++
+		if len(cover) == 0 {
+			outRows++
+		} else {
+			outRows += len(cover)
+		}
+		return nil
+	})
+	return outRows, frags, err
+}
+
+// presizeRows allocates the pre-union row buffer for a join over al,
+// counting the pass only when the aligner makes counting nearly free.
+// The capacity is clamped: a pathological workload can report billions of
+// rows, and a cancellation must get the chance to fire during row
+// production rather than inside one giant allocation. Beyond the clamp,
+// append growth takes over.
+func presizeRows(ctx context.Context, al aligner, r *tp.Relation) ([]row, error) {
+	if !al.cheapCount() {
+		return nil, nil
+	}
+	outN, frags, err := countRows(ctx, al, r)
+	if err != nil {
+		return nil, err
+	}
+	n := outN + frags
+	const maxPresize = 1 << 20
+	if n > maxPresize {
+		n = maxPresize
+	}
+	return make([]row, 0, n), nil
 }
 
 func joinAttrs(r, s *tp.Relation) []string {
@@ -344,11 +655,13 @@ func InnerJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
 }
 
 func innerJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
-	outer, err := outerRowsCtx(ctx, r, s, theta, cfg, false, stats)
+	al := newAligner(s, theta, cfg)
+	defer al.release()
+	outer, err := outerRowsStream(ctx, al, r, s, cfg, false, stats, nil)
 	if err != nil {
 		return nil, err
 	}
-	var rows []row
+	rows := outer[:0]
 	for _, rw := range outer {
 		if rw.pair {
 			rows = append(rows, rw)
@@ -366,7 +679,9 @@ func AntiJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
 }
 
 func antiJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
-	neg, err := negRowsCtx(ctx, r, s, theta, cfg, false, true, stats)
+	al := newAligner(s, theta, cfg)
+	defer al.release()
+	neg, err := negRowsStream(ctx, al, r, s, cfg, false, true, stats, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -376,7 +691,7 @@ func antiJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Con
 }
 
 // LeftOuterJoin computes r ⟕Tp s with the alignment strategy: sub-queries
-// A and B, both re-running the conventional joins, combined by the
+// A and B, both re-enumerating the aligned fragments, combined by the
 // duplicate-eliminating union.
 func LeftOuterJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
 	out, _ := leftOuterJoinCtx(context.Background(), r, s, theta, cfg, nil)
@@ -384,15 +699,21 @@ func LeftOuterJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
 }
 
 func leftOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
-	rows, err := outerRowsCtx(ctx, r, s, theta, cfg, false, stats)
+	al := newAligner(s, theta, cfg)
+	defer al.release()
+	buf, err := presizeRows(ctx, al, r)
 	if err != nil {
 		return nil, err
 	}
-	neg, err := negRowsCtx(ctx, r, s, theta, cfg, false, false, stats)
+	rows, err := outerRowsStream(ctx, al, r, s, cfg, false, stats, buf)
 	if err != nil {
 		return nil, err
 	}
-	rows = dedup(append(rows, neg...), stats)
+	rows, err = negRowsStream(ctx, al, r, s, cfg, false, false, stats, rows)
+	if err != nil {
+		return nil, err
+	}
+	rows = dedup(rows, stats)
 	return finish(fmt.Sprintf("%s_louter_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows), nil
 }
 
@@ -403,15 +724,22 @@ func RightOuterJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation 
 }
 
 func rightOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
-	rows, err := outerRowsCtx(ctx, s, r, tp.Swap(theta), cfg, true, stats)
+	swapped := tp.Swap(theta)
+	al := newAligner(r, swapped, cfg)
+	defer al.release()
+	buf, err := presizeRows(ctx, al, s)
 	if err != nil {
 		return nil, err
 	}
-	neg, err := negRowsCtx(ctx, s, r, tp.Swap(theta), cfg, true, false, stats)
+	rows, err := outerRowsStream(ctx, al, s, r, cfg, true, stats, buf)
 	if err != nil {
 		return nil, err
 	}
-	rows = dedup(append(rows, neg...), stats)
+	rows, err = negRowsStream(ctx, al, s, r, cfg, true, false, stats, rows)
+	if err != nil {
+		return nil, err
+	}
+	rows = dedup(rows, stats)
 	return finish(fmt.Sprintf("%s_router_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows), nil
 }
 
@@ -423,20 +751,27 @@ func FullOuterJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
 }
 
 func fullOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
-	rows, err := outerRowsCtx(ctx, r, s, theta, cfg, false, stats)
+	fwd := newAligner(s, theta, cfg)
+	defer fwd.release()
+	buf, err := presizeRows(ctx, fwd, r)
 	if err != nil {
 		return nil, err
 	}
-	neg, err := negRowsCtx(ctx, r, s, theta, cfg, false, false, stats)
+	rows, err := outerRowsStream(ctx, fwd, r, s, cfg, false, stats, buf)
 	if err != nil {
 		return nil, err
 	}
-	rows = append(rows, neg...)
-	neg, err = negRowsCtx(ctx, s, r, tp.Swap(theta), cfg, true, false, stats)
+	rows, err = negRowsStream(ctx, fwd, r, s, cfg, false, false, stats, rows)
 	if err != nil {
 		return nil, err
 	}
-	rows = dedup(append(rows, neg...), stats)
+	mir := newAligner(r, tp.Swap(theta), cfg)
+	defer mir.release()
+	rows, err = negRowsStream(ctx, mir, s, r, cfg, true, false, stats, rows)
+	if err != nil {
+		return nil, err
+	}
+	rows = dedup(rows, stats)
 	return finish(fmt.Sprintf("%s_fouter_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), rows), nil
 }
 
@@ -455,15 +790,33 @@ func dedup(rows []row, stats *Stats) []row {
 // benchmark: TA pays both conventional joins of the alignment step where
 // NJ pays one.
 func CountWUO(r, s *tp.Relation, theta tp.Theta, cfg Config) int {
-	return len(outerRows(r, s, theta, cfg, false))
+	al := newAligner(s, theta, cfg)
+	defer al.release()
+	n := 0
+	_ = al.drain(context.Background(), r, func(ri int, t interval.Interval, cover []int32) error {
+		if len(cover) == 0 {
+			n++
+		} else {
+			n += len(cover)
+		}
+		return nil
+	})
+	return n
 }
 
 // CountNegating runs sub-query B (the negated part) and returns the number
 // of produced rows without forming output tuples. It is the TA counterpart
-// of the LAWAN sweep, used by the Fig. 6 benchmark: TA re-runs the two
-// alignment joins to derive the negated fragments.
+// of the LAWAN sweep, used by the Fig. 6 benchmark: TA re-enumerates the
+// aligned fragments to derive the negated part.
 func CountNegating(r, s *tp.Relation, theta tp.Theta, cfg Config) int {
-	return len(negRows(r, s, theta, cfg, false, false))
+	al := newAligner(s, theta, cfg)
+	defer al.release()
+	n := 0
+	_ = al.drain(context.Background(), r, func(ri int, t interval.Interval, cover []int32) error {
+		n++
+		return nil
+	})
+	return n
 }
 
 // Join dispatches on the operator.
@@ -474,11 +827,13 @@ func Join(op tp.Op, r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation 
 
 // JoinContext is Join under a query context: the alignment passes (the
 // blocking part of the baseline) observe ctx every alignCancelCheck outer
-// tuples, so a per-query timeout or client disconnect aborts the
+// tuples and every drainCancelWork units of work inside one tuple's
+// fragment drain, so a per-query timeout or client disconnect aborts the
 // materializing Open mid-alignment instead of running both conventional
-// joins to completion. On cancellation the result is nil and the error is
-// ctx.Err(). A non-nil stats additionally accounts fragments, alignment
-// passes and pre-union rows for EXPLAIN ANALYZE.
+// joins to completion — even when all the work sits in one key group. On
+// cancellation the result is nil and the error is ctx.Err(). A non-nil
+// stats additionally accounts fragments, alignment passes and pre-union
+// rows for EXPLAIN ANALYZE.
 func JoinContext(ctx context.Context, op tp.Op, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
 	switch op {
 	case tp.OpInner:

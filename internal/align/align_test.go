@@ -116,7 +116,7 @@ func TestDuplicateEliminationHappens(t *testing.T) {
 	// Sub-queries A and B both produce the unmatched fragments; the raw
 	// row count before union must exceed the deduplicated result.
 	a, b := paperA(), paperB()
-	raw := len(outerRows(a, b, theta, Config{}, false)) + len(negRows(a, b, theta, Config{}, false, false))
+	raw := CountWUO(a, b, theta, Config{}) + CountNegating(a, b, theta, Config{})
 	q := LeftOuterJoin(a, b, theta, Config{})
 	if raw <= q.Len() {
 		t.Errorf("expected duplicates before union: raw=%d result=%d", raw, q.Len())

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tpjoin/internal/plan"
+)
+
+// TestCalibrateQuickRoundTrips runs the calibrator in quick (CI smoke)
+// mode and pins the contract the cost model depends on: the emitted
+// constants validate, survive the plan loader round-trip, and carry the
+// host provenance.
+func TestCalibrateQuickRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration measures wall time")
+	}
+	cal := Calibrate(CalibrateOptions{Quick: true, Repeats: 1, Label: "test"})
+	if err := cal.Validate(); err != nil {
+		t.Fatalf("quick calibration invalid: %v\n%+v", err, cal)
+	}
+	data, err := cal.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := plan.LoadCalibration(path)
+	if err != nil {
+		t.Fatalf("emitted calibration does not round-trip: %v\n%s", err, data)
+	}
+	if *loaded != cal {
+		t.Fatalf("round-trip changed the calibration:\n  out %+v\n  in  %+v", cal, *loaded)
+	}
+	if loaded.Label != "test" || loaded.GoVersion == "" || loaded.CPUs < 1 {
+		t.Errorf("provenance incomplete: %+v", loaded)
+	}
+}
+
+// TestFitFamily pins the fitter's algebra and its positivity clamp.
+func TestFitFamily(t *testing.T) {
+	// Exact synthetic measurements for tuple=10, pair=2: the selective
+	// point is per-tuple dominated, the dense point pair dominated.
+	sel := workload{n: 1000, pairs: 50}
+	dense := workload{n: 200, pairs: 5000}
+	tuple, pair := fitFamily(10*1000+2*50, 10*200+2*5000, sel, dense, 50, 5000)
+	if tuple < 9.9 || tuple > 10.1 || pair < 1.9 || pair > 2.1 {
+		t.Errorf("fitFamily = (%g, %g), want (10, 2)", tuple, pair)
+	}
+	// Degenerate measurements (dense faster than its per-tuple share
+	// predicts) clamp to the floor instead of producing unusable model
+	// constants.
+	tuple, pair = fitFamily(10*1000, 1, sel, dense, 50, 5000)
+	if !(tuple > 0) || !(pair > 0) {
+		t.Errorf("degenerate fitFamily = (%g, %g), want positive", tuple, pair)
+	}
+}

@@ -82,12 +82,13 @@ func record(figure, ds, series string, n int, res testing.BenchmarkResult) Recor
 }
 
 // autoStrategy is the cost-based picker's verdict for a panel workload
-// with default worker settings — the strategy a SET strategy = auto
-// session would run the panel's join under. taNestedLoop mirrors the
-// panel's TA configuration (Fig. 7a forces the nested-loop plan).
+// with default worker settings and the checked-in calibration — the
+// strategy a SET strategy = auto session would run the panel's join
+// under. taNestedLoop mirrors the panel's TA configuration (Fig. 7a
+// forces the nested-loop plan).
 func autoStrategy(r, s *tp.Relation, theta tp.EquiTheta, taNestedLoop bool) engine.Strategy {
 	est := plan.EstimateJoin(r.Name, stats.Compute(r), s.Name, stats.Compute(s),
-		theta, 0, taNestedLoop)
+		theta, 0, taNestedLoop, nil)
 	return est.Chosen
 }
 
@@ -136,11 +137,13 @@ func collectPanel(fig, ds string, opt Options) []Record {
 					align.CountWUO(r, s, theta, align.Config{})
 				})))
 			// AUTO: run the picker's choice. The WUO microbenchmark has
-			// no partitioned variant, so a PNJ pick falls back to the NJ
-			// pipeline it amortizes — Pick records the strategy that was
-			// actually measured, never a speedup that did not run.
+			// no partitioned variant, so a PNJ (PTA) pick falls back to
+			// the NJ (TA) pipeline it amortizes — Pick records the
+			// strategy that was actually measured, never a speedup that
+			// did not run.
 			executed := engine.StrategyNJ
-			if autoStrategy(r, s, theta, false) == engine.StrategyTA {
+			switch autoStrategy(r, s, theta, false) {
+			case engine.StrategyTA, engine.StrategyPTA:
 				executed = engine.StrategyTA
 			}
 			auto := record(id, ds, "AUTO", n, measure(func() {
@@ -190,12 +193,17 @@ func collectPanel(fig, ds string, opt Options) []Record {
 				})),
 				record(id, ds, "TA", n, measure(func() {
 					align.LeftOuterJoin(r, s, theta, cfg)
+				})),
+				record(id, ds, "PTA", n, measure(func() {
+					align.ParallelJoin(tp.OpLeft, r, s, theta, cfg, 0)
 				})))
 			pick := autoStrategy(r, s, theta, cfg.NestedLoop)
 			auto := record(id, ds, "AUTO", n, measure(func() {
 				switch pick {
 				case engine.StrategyTA:
 					align.LeftOuterJoin(r, s, theta, cfg)
+				case engine.StrategyPTA:
+					align.ParallelJoin(tp.OpLeft, r, s, theta, cfg, 0)
 				case engine.StrategyPNJ:
 					core.ParallelJoin(tp.OpLeft, r, s, theta, 0)
 				default:

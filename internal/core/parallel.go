@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
+	"tpjoin/internal/par"
 	"tpjoin/internal/tp"
 )
 
@@ -40,7 +40,7 @@ func ParallelJoinContext(ctx context.Context, op tp.Op, r, s *tp.Relation, eq tp
 // MaxWorkers bounds the goroutine and partition count regardless of the
 // caller's request; plan.MaxJoinWorkers applies the same cap at SET time
 // so rejected values never reach the executor.
-const MaxWorkers = 1024
+const MaxWorkers = par.MaxWorkers
 
 // cancelCheck is how many tuples a partition worker drains between
 // context checks: frequent enough that cancellation bites within
@@ -89,47 +89,27 @@ func parallelJoinCtx(ctx context.Context, op tp.Op, r, s *tp.Relation, eq tp.Equ
 		st.Partitions = int64(parts)
 	}
 
-	rParts := partition(r, eq.RCols, parts)
-	sParts := partition(s, eq.SCols, parts)
+	rParts := par.PartitionByKey(r, eq.RCols, parts)
+	sParts := par.PartitionByKey(s, eq.SCols, parts)
 
 	// Merge the base-event probabilities once; the map is only read by
 	// the workers' evaluators, so sharing it across goroutines is safe.
 	merged := tp.MergeProbs(r, s)
 
 	results := make([]*tp.Relation, parts)
-	var wg sync.WaitGroup
-	var aborted atomic.Bool
-	sem := make(chan struct{}, workers)
-	for p := 0; p < parts; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			// Observe cancellation between partitions: once the context
-			// is done no further partition starts, so a query over many
-			// partitions aborts after the in-flight ones.
-			if aborted.Load() {
-				return
-			}
-			if ctx.Err() != nil {
-				aborted.Store(true)
-				return
-			}
-			res, err := drainJoinCtx(ctx, op, rParts[p], sParts[p], eq, merged, batch, st)
-			if err != nil {
-				aborted.Store(true)
-				return
-			}
-			results[p] = res
-			if st != nil {
-				st.PartitionsDone.Add(1)
-			}
-		}(p)
-	}
-	wg.Wait()
-	if aborted.Load() {
-		return nil, ctx.Err()
+	err := par.Run(ctx, parts, workers, func(p int) error {
+		res, err := drainJoinCtx(ctx, op, rParts[p], sParts[p], eq, merged, batch, st)
+		if err != nil {
+			return err
+		}
+		results[p] = res
+		if st != nil {
+			st.PartitionsDone.Add(1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	out := &tp.Relation{
@@ -146,29 +126,4 @@ func parallelJoinCtx(ctx context.Context, op tp.Op, r, s *tp.Relation, eq tp.Equ
 		out.Tuples = append(out.Tuples, res.Tuples...)
 	}
 	return out, nil
-}
-
-// partition splits rel into parts sub-relations by the hash of the join
-// key. Tuples whose key contains NULL match nothing; they still must flow
-// through the join (outer/anti semantics keep them), so they are assigned
-// round-robin by tuple index.
-func partition(rel *tp.Relation, cols []int, parts int) []*tp.Relation {
-	out := make([]*tp.Relation, parts)
-	for i := range out {
-		// Partitions are per-call temporaries; Transient keeps them out
-		// of the per-relation derived-structure caches.
-		out[i] = &tp.Relation{Name: rel.Name, Attrs: rel.Attrs, Probs: rel.Probs, Transient: true}
-	}
-	eq := tp.EquiTheta{RCols: cols, SCols: cols}
-	for i := range rel.Tuples {
-		t := &rel.Tuples[i]
-		var p int
-		if h, ok := eq.RKeyHash(t.Fact); ok {
-			p = int(h % uint64(parts))
-		} else {
-			p = i % parts
-		}
-		out[p].Tuples = append(out[p].Tuples, *t)
-	}
-	return out
 }

@@ -89,6 +89,34 @@ func TestPNJCancelledMidOpen(t *testing.T) {
 	}
 }
 
+// TestPTACancelledMidOpen: the partitioned-parallel TA executor must
+// abort mid-alignment like its sequential counterpart, with all partition
+// workers joined before the error returns.
+func TestPTACancelledMidOpen(t *testing.T) {
+	r, s := dataset.Meteo(20000, 1)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), cancelAfter)
+	defer cancel()
+	j := NewTPJoin(tp.OpLeft, NewScan(r), NewScan(s), dataset.MeteoTheta(), StrategyPTA, align.Config{})
+	j.SetWorkers(2)
+	start := time.Now()
+	_, err := RunContext(ctx, j, "out")
+	requireCtxErr(t, "PTA", err, time.Since(start))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after cancelled PTA: %d, want ≤ %d (+2 slack): partition workers leaked",
+				runtime.NumGoroutine(), before)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // TestExplainAnalyzeReportsAbort: the plan layer turns a mid-Open abort
 // into ANALYZE output rather than an error; here we only pin the engine
 // side — the join records the abort reason for the renderer.

@@ -1,8 +1,8 @@
 package engine
 
 // The cross-strategy differential harness: every physical join strategy
-// (NJ, TA, PNJ) must compute the same temporal-probabilistic result for
-// every join operator on seeded random workloads. The strategies differ
+// (NJ, TA, PNJ, PTA) must compute the same temporal-probabilistic result
+// for every join operator on seeded random workloads. The strategies differ
 // in output order and in how they fragment time (TA chunks at alignment
 // boundaries, NJ at window boundaries), so results are compared in
 // canonical form: coalesced (tp.Coalesce merges value-equivalent adjacent
@@ -59,7 +59,7 @@ var differentialOps = []tp.Op{tp.OpInner, tp.OpLeft, tp.OpFull, tp.OpAnti}
 func runStrategy(t *testing.T, strat Strategy, op tp.Op, r, s *tp.Relation, theta tp.Theta) *tp.Relation {
 	t.Helper()
 	j := NewTPJoin(op, NewScan(r), NewScan(s), theta, strat, align.Config{})
-	if strat == StrategyPNJ {
+	if strat == StrategyPNJ || strat == StrategyPTA {
 		j.SetWorkers(3)
 	}
 	out, err := Run(j, "diff")
@@ -104,9 +104,9 @@ func diffLines(t *testing.T, label string, want, got []string) {
 	}
 }
 
-// TestDifferentialStrategies is the harness: NJ is the reference; TA and
-// PNJ must match it byte-for-byte after canonicalization for every join
-// operator on every seeded workload.
+// TestDifferentialStrategies is the harness: NJ is the reference; TA,
+// PNJ and PTA must match it byte-for-byte after canonicalization for
+// every join operator on every seeded workload.
 func TestDifferentialStrategies(t *testing.T) {
 	for _, in := range differentialWorkloads() {
 		for _, op := range differentialOps {
@@ -114,7 +114,7 @@ func TestDifferentialStrategies(t *testing.T) {
 			if len(ref) == 0 {
 				t.Fatalf("%s %v: empty reference result, workload too small", in.name, op)
 			}
-			for _, strat := range []Strategy{StrategyTA, StrategyPNJ} {
+			for _, strat := range []Strategy{StrategyTA, StrategyPNJ, StrategyPTA} {
 				got := canonicalize(runStrategy(t, strat, op, in.r, in.s, in.theta))
 				diffLines(t, fmt.Sprintf("%s %v %v-vs-NJ", in.name, op, strat), ref, got)
 			}

@@ -252,7 +252,8 @@ func TestTPJoinAntiSchema(t *testing.T) {
 }
 
 func TestStrategyString(t *testing.T) {
-	if StrategyNJ.String() != "NJ" || StrategyTA.String() != "TA" || StrategyPNJ.String() != "PNJ" {
+	if StrategyNJ.String() != "NJ" || StrategyTA.String() != "TA" ||
+		StrategyPNJ.String() != "PNJ" || StrategyPTA.String() != "PTA" {
 		t.Errorf("strategy names wrong")
 	}
 	// NumStrategies must track the enum: every strategy below it has a

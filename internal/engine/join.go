@@ -27,6 +27,12 @@ const (
 	// deterministic (partition-major) but differs from StrategyNJ's. It
 	// requires an equi-join condition and materializes at Open.
 	StrategyPNJ
+	// StrategyPTA is the partitioned-parallel TA executor: the PNJ
+	// parallelism model applied to the alignment baseline
+	// (align.ParallelJoin). Like PNJ it requires an equi-join condition,
+	// materializes at Open and produces deterministic partition-major
+	// output order.
+	StrategyPTA
 
 	// NumStrategies is the number of defined strategies. Keep it in sync
 	// with the enum above (TestStrategyString guards this): per-strategy
@@ -43,6 +49,8 @@ func (s Strategy) String() string {
 		return "TA"
 	case StrategyPNJ:
 		return "PNJ"
+	case StrategyPTA:
+		return "PTA"
 	default:
 		return fmt.Sprintf("strategy(%d)", uint8(s))
 	}
@@ -50,8 +58,9 @@ func (s Strategy) String() string {
 
 // TPJoin is the executor node for temporal-probabilistic joins with
 // negation. Under StrategyNJ the result streams tuple-by-tuple out of the
-// window pipeline; under StrategyTA the result is materialized at Open
-// (alignment is inherently blocking) and then scanned.
+// window pipeline; under the blocking strategies (TA and the two
+// partitioned-parallel executors PNJ/PTA) the result is materialized at
+// Open and then scanned.
 type TPJoin struct {
 	base
 	op       tp.Op
@@ -88,8 +97,8 @@ type TPJoin struct {
 }
 
 // StageStat is one strategy-specific ANALYZE detail counter of a TPJoin —
-// a window-pipeline stage under NJ, an alignment counter under TA, a
-// partition counter under PNJ. Batches is only meaningful for batched
+// a window-pipeline stage under NJ, an alignment counter under TA/PTA, a
+// partition counter under PNJ/PTA. Batches is only meaningful for batched
 // stages and is 0 otherwise.
 type StageStat struct {
 	Name    string
@@ -128,17 +137,17 @@ func (j *TPJoin) SetAutoPick(p *AutoPick) { j.pick = p }
 // AutoPick returns the planner's cost-model record, or nil.
 func (j *TPJoin) AutoPick() *AutoPick { return j.pick }
 
-// SetWorkers sets the PNJ worker count (0 = GOMAXPROCS). It has no effect
-// on the other strategies.
+// SetWorkers sets the worker count of the partitioned-parallel strategies
+// (PNJ, PTA; 0 = GOMAXPROCS). It has no effect on the other strategies.
 func (j *TPJoin) SetWorkers(n int) { j.workers = n }
 
-// Workers returns the configured PNJ worker count.
+// Workers returns the configured parallel worker count.
 func (j *TPJoin) Workers() int { return j.workers }
 
-// BindContext implements ContextBinder: the blocking strategies (TA, PNJ)
-// observe ctx during their materializing Open, so a per-query timeout or
-// client disconnect aborts mid-Open instead of at the next tuple
-// boundary.
+// BindContext implements ContextBinder: the blocking strategies (TA,
+// PNJ, PTA) observe ctx during their materializing Open, so a per-query
+// timeout or client disconnect aborts mid-Open instead of at the next
+// tuple boundary.
 func (j *TPJoin) BindContext(ctx context.Context) { j.ctx = ctx }
 
 // AbortErr returns the context error that interrupted the last Open, or
@@ -197,6 +206,19 @@ func (j *TPJoin) Open() error {
 			j.abort = err
 			return err
 		}
+	case StrategyPTA:
+		eq, ok := j.theta.(tp.EquiTheta)
+		if !ok {
+			return fmt.Errorf("engine: PTA strategy requires an equi-join condition (got %T)", j.theta)
+		}
+		if j.instr {
+			j.taStats = &align.Stats{}
+		}
+		j.mat, err = align.ParallelJoinContext(ctx, j.op, r, s, eq, j.taCfg, j.workers, j.taStats)
+		if err != nil {
+			j.abort = err
+			return err
+		}
 	default:
 		return fmt.Errorf("engine: unknown join strategy %v", j.strategy)
 	}
@@ -205,8 +227,9 @@ func (j *TPJoin) Open() error {
 
 // Stages returns the strategy-level ANALYZE detail counters of the last
 // run: window-pipeline stages (windows/batches) under NJ, alignment
-// passes/fragments/pre-union rows under TA, workers/partitions/tuples
-// under PNJ. It returns nil when the join was not instrumented.
+// passes/fragments/pre-union rows under TA (prefixed by
+// workers/partitions under PTA), workers/partitions/tuples under PNJ. It
+// returns nil when the join was not instrumented.
 func (j *TPJoin) Stages() []StageStat {
 	switch {
 	case j.njInstr != nil:
@@ -216,11 +239,19 @@ func (j *TPJoin) Stages() []StageStat {
 		}
 		return out
 	case j.taStats != nil:
-		return []StageStat{
-			{Name: "align-passes", Count: j.taStats.AlignPasses},
-			{Name: "fragments", Count: j.taStats.Fragments},
-			{Name: "pre-union rows", Count: j.taStats.Rows},
+		out := make([]StageStat, 0, 5)
+		if j.taStats.Workers > 0 {
+			// The parallel executor (PTA) additionally reports its
+			// partitioning; the alignment counters below then aggregate
+			// over all partitions.
+			out = append(out,
+				StageStat{Name: "workers", Count: j.taStats.Workers},
+				StageStat{Name: "partitions", Count: j.taStats.Partitions})
 		}
+		return append(out,
+			StageStat{Name: "align-passes", Count: j.taStats.AlignPasses},
+			StageStat{Name: "fragments", Count: j.taStats.Fragments},
+			StageStat{Name: "pre-union rows", Count: j.taStats.Rows})
 	case j.pnjStats != nil:
 		return []StageStat{
 			{Name: "workers", Count: j.pnjStats.Workers},

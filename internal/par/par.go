@@ -1,0 +1,109 @@
+// Package par is the shared scaffolding of the partitioned-parallel
+// executors (core.ParallelJoin / PNJ and align.ParallelJoin / PTA): key
+// hash partitioning of relations and a bounded worker pool with the
+// cancellation, error and panic semantics blocking query operators need.
+// It sits below both executor packages so the subtle concurrency code
+// exists exactly once.
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"tpjoin/internal/tp"
+)
+
+// MaxWorkers bounds the goroutine and partition count of the partitioned
+// executors regardless of the caller's request; plan.MaxJoinWorkers
+// applies the same cap at SET time so rejected values never reach an
+// executor.
+const MaxWorkers = 1024
+
+// Run executes run(p) for every partition index in [0, parts) on a
+// worker pool of the given size:
+//
+//   - cancellation is observed between partitions — once ctx is done (or
+//     any partition failed) no further partition starts, and every
+//     started worker is joined before Run returns, so no goroutine
+//     outlives the call;
+//   - the first worker error is captured and returned (ctx.Err() takes
+//     precedence when the context is done, so cancelled runs surface the
+//     context error whatever a worker reported);
+//   - a worker panic (e.g. the documented evaluator panics on
+//     conflicting base-event probabilities) is captured and re-raised on
+//     the *calling* goroutine after all workers joined — the query
+//     surfaces' panic-to-error containment recovers on the query
+//     goroutine, so sequential and parallel execution fail identically
+//     instead of a worker panic killing the process.
+func Run(ctx context.Context, parts, workers int, run func(p int) error) error {
+	var wg sync.WaitGroup
+	var aborted atomic.Bool
+	var firstErr atomic.Pointer[error]
+	var firstPanic atomic.Pointer[any]
+	sem := make(chan struct{}, workers)
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					firstPanic.CompareAndSwap(nil, &r)
+					aborted.Store(true)
+				}
+			}()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if aborted.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				aborted.Store(true)
+				return
+			}
+			if err := run(p); err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				aborted.Store(true)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if r := firstPanic.Load(); r != nil {
+		panic(*r)
+	}
+	if aborted.Load() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// A worker failed for a non-context reason; surface its error
+		// rather than reporting success.
+		return *firstErr.Load()
+	}
+	return nil
+}
+
+// PartitionByKey splits rel into parts sub-relations by the hash of the
+// join-key columns (interned key hashing, so facts with equal keys land
+// together). Tuples whose key contains NULL match nothing; they still
+// must flow through a join (outer/anti semantics keep them), so they are
+// assigned round-robin by tuple index — deterministically, so repeated
+// partitionings of one relation agree. The partitions are marked
+// Transient (per-call temporaries outside the derived-structure caches).
+func PartitionByKey(rel *tp.Relation, cols []int, parts int) []*tp.Relation {
+	out := make([]*tp.Relation, parts)
+	for i := range out {
+		out[i] = &tp.Relation{Name: rel.Name, Attrs: rel.Attrs, Probs: rel.Probs, Transient: true}
+	}
+	eq := tp.EquiTheta{RCols: cols, SCols: cols}
+	for i := range rel.Tuples {
+		t := &rel.Tuples[i]
+		var p int
+		if h, ok := eq.RKeyHash(t.Fact); ok {
+			p = int(h % uint64(parts))
+		} else {
+			p = i % parts
+		}
+		out[p].Tuples = append(out[p].Tuples, *t)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package plan
+
+// The cost model's calibration: the per-primitive constants EstimateJoin
+// prices the physical strategies with, measured on a real host rather
+// than assumed. `tpbench -calibrate` micro-benchmarks the primitives
+// (internal/bench.Calibrate) — the NJ pipeline per tuple and per
+// window-pair unit, the alignment baseline per tuple, per fragment and
+// per nested-loop pair, and the partitioned executors' per-tuple and
+// per-worker overheads — and emits this struct as JSON. The checked-in
+// calibration.json (regenerated whenever a perf PR shifts the constants;
+// embedded below) is the default every session prices with;
+// SET calibration = '<file>' loads a host-specific one at runtime.
+//
+// The constants are in model nanoseconds: fitted from full-operator
+// measurements via the same JoinShape terms the estimator uses, so a
+// strategy's estimate approximates its actual runtime on the calibration
+// host. What makes the paper's Fig. 5/7 ordering (Webkit → NJ, Meteo →
+// TA) emerge is therefore measurement, not construction: NJ's window term
+// grows with the per-key concurrency squared while TA's fragment term is
+// linear in it, and the measured constants decide where the curves cross.
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Calibration holds the measured per-primitive costs (model nanoseconds)
+// plus the parallel-efficiency policy and the provenance of the
+// measurement.
+type Calibration struct {
+	// NJTuple is the NJ pipeline cost per input tuple; NJWindow the cost
+	// per overlapping same-key pair scaled by the active-set size (the
+	// window fan-out term, ∝ concurrency²).
+	NJTuple  float64 `json:"nj_tuple_ns"`
+	NJWindow float64 `json:"nj_window_ns"`
+	// TATuple is the alignment baseline's cost per input tuple (key
+	// grouping, event lists, union share); TAFrag its cost per
+	// overlapping same-key pair (fragmentation, covers, output rows);
+	// TANLPair the nested-loop plan's cost per tuple pair.
+	TATuple  float64 `json:"ta_tuple_ns"`
+	TAFrag   float64 `json:"ta_frag_ns"`
+	TANLPair float64 `json:"ta_nl_pair_ns"`
+	// ParTuple is the partitioned executors' extra cost per input tuple
+	// (hash partitioning, result concatenation); ParSetup their per-worker
+	// setup charge (goroutines, partition buffers). Shared by PNJ and PTA.
+	ParTuple float64 `json:"par_tuple_ns"`
+	ParSetup float64 `json:"par_setup_ns"`
+	// ParEfficiency and ParMaxSpeedup are the parallel-amortization
+	// policy: marginal speedup per extra worker and its ceiling (skew,
+	// materialization, memory bandwidth). They are carried in the
+	// calibration so a host with measured scaling can override them, but
+	// the calibrator keeps them at their defaults — scaling cannot be
+	// measured meaningfully on arbitrary (possibly single-CPU) hosts.
+	ParEfficiency float64 `json:"par_efficiency"`
+	ParMaxSpeedup float64 `json:"par_max_speedup"`
+
+	// Provenance of the measurement. Notes carries the calibrator's
+	// caveats (constants that hit the fitter's floor, single-CPU hosts
+	// whose parallel overheads are not transferable) so a degenerate fit
+	// is visible in the file, not just in the command output.
+	Label      string `json:"label,omitempty"`
+	Notes      string `json:"notes,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	CPUs       int    `json:"cpus,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs,omitempty"`
+}
+
+//go:embed calibration.json
+var defaultCalibrationJSON []byte
+
+var defaultCalibration = func() *Calibration {
+	c, err := ParseCalibration(defaultCalibrationJSON)
+	if err != nil {
+		panic(fmt.Sprintf("plan: embedded calibration.json is invalid: %v", err))
+	}
+	return c
+}()
+
+// DefaultCalibration returns the checked-in calibration the cost model
+// prices with when the session loaded none. The returned value is shared;
+// callers must not mutate it.
+func DefaultCalibration() *Calibration { return defaultCalibration }
+
+// Validate checks that every constant is usable: the cost terms positive
+// and finite, the efficiency in (0, 1], the speedup ceiling ≥ 1.
+func (c *Calibration) Validate() error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"nj_tuple_ns", c.NJTuple}, {"nj_window_ns", c.NJWindow},
+		{"ta_tuple_ns", c.TATuple}, {"ta_frag_ns", c.TAFrag},
+		{"ta_nl_pair_ns", c.TANLPair},
+		{"par_tuple_ns", c.ParTuple}, {"par_setup_ns", c.ParSetup},
+	}
+	for _, ch := range checks {
+		if !(ch.v > 0) || ch.v > 1e12 {
+			return fmt.Errorf("calibration: %s = %g, want positive finite", ch.name, ch.v)
+		}
+	}
+	if !(c.ParEfficiency > 0) || c.ParEfficiency > 1 {
+		return fmt.Errorf("calibration: par_efficiency = %g, want in (0, 1]", c.ParEfficiency)
+	}
+	if !(c.ParMaxSpeedup >= 1) || c.ParMaxSpeedup > 1e6 {
+		return fmt.Errorf("calibration: par_max_speedup = %g, want ≥ 1", c.ParMaxSpeedup)
+	}
+	return nil
+}
+
+// ParseCalibration decodes and validates a calibration JSON document.
+// Unknown fields are rejected so a typo in a hand-edited file fails
+// loudly instead of silently keeping a default of zero.
+func ParseCalibration(data []byte) (*Calibration, error) {
+	var c Calibration
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("calibration: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// LoadCalibration reads a calibration file emitted by tpbench -calibrate.
+func LoadCalibration(path string) (*Calibration, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseCalibration(data)
+}
+
+// MarshalIndent renders the calibration in the checked-in file's layout.
+func (c *Calibration) MarshalIndent() ([]byte, error) {
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -3,34 +3,34 @@ package plan
 // The planner's cost model for physical TP-join strategy selection
 // (SET strategy = auto). The paper's central evaluation result is that no
 // strategy dominates: the lineage-aware NJ pipeline wins on selective
-// workloads with small per-key groups (Webkit), temporal alignment wins on
-// non-selective workloads with large per-key groups (Meteo, by one to two
-// orders of magnitude), and the partitioned-parallel executor amortizes NJ
-// across workers when the key cardinality admits partitioning. The model
-// reproduces that ordering from catalog statistics (internal/stats):
+// workloads with small per-key groups (Webkit), temporal alignment wins
+// on non-selective workloads with large per-key groups (Meteo), and the
+// partitioned-parallel executors amortize either across workers when the
+// key cardinality admits partitioning. The model reproduces that ordering
+// from catalog statistics (internal/stats):
 //
 //   - NJ pays a per-tuple pipeline cost plus a window term that grows
 //     with the per-key group size *squared*: the sweep materializes one
 //     window per overlapping same-key pair (pairs ≈ n·λ, with λ the
 //     partner side's per-key temporal concurrency) and maintains an
 //     active set of ~λ tuples per window, so the term is ∝ n·λ².
-//   - TA pays partitioning/sorting per input tuple plus alignment work
-//     linear in the fragments it produces (each tuple splits at the
-//     boundaries of overlapping same-key partners: fragments ≈ n·λ).
-//   - PNJ is NJ with the window term amortized across join_workers
+//   - TA pays key grouping and event-list construction per input tuple
+//     plus alignment work linear in the fragments and pairings it
+//     produces (≈ pairs) — linear, not quadratic, in λ, which is why
+//     alignment takes over as the per-key concurrency grows.
+//   - PNJ and PTA amortize the respective pair term across join_workers
 //     partitions when the key cardinality is at least the worker count
 //     (a key's group is indivisible), with partitioning overhead per
 //     tuple, a per-worker setup charge, and sublinear parallel
 //     efficiency (skew, materialization, memory bandwidth).
 //
-// The constants are calibrated to the figure shapes tracked in
-// BENCH_1.json (input-size scaling per panel) and to the paper's reported
-// orderings across the two dataset profiles. NOTE: on this Go substrate
-// the TA baseline's constant factors are measurably worse than the
-// paper's PostgreSQL implementation (BENCH_1.json records NJ ahead on
-// every measured panel), so the model deliberately prices TA at the
-// paper's relative constants rather than this host's — see DESIGN.md
-// §cost model for the rationale and the re-calibration procedure.
+// The constants are *measured*, not assumed: plan.Calibration carries the
+// per-primitive costs fitted by `tpbench -calibrate` on a real host (the
+// checked-in calibration.json by default, a session override via
+// SET calibration = '<file>'). Since the alignment baseline was rebuilt
+// on the batched execution core, its measured constants stand on their
+// own — the model no longer needs the paper's relative constants to
+// reproduce the paper's workload dichotomy (DESIGN.md §Cost model).
 
 import (
 	"fmt"
@@ -40,21 +40,6 @@ import (
 	"tpjoin/internal/engine"
 	"tpjoin/internal/stats"
 	"tpjoin/internal/tp"
-)
-
-// The calibration constants, in model nanoseconds. Re-calibrate after
-// perf PRs per DESIGN.md §cost model.
-const (
-	costNJTuple  = 150  // NJ pipeline cost per input tuple
-	costNJWindow = 800  // NJ cost per window, scaled by the active-set size
-	costTATuple  = 1000 // TA partition+sort cost per input tuple
-	costTAFrag   = 400  // TA alignment cost per fragment
-	costTANLPair = 40   // TA nested-loop cost per tuple pair (ta_nested_loop;
-	// BENCH_1.json Fig. 7a measured ≈39ns/pair on the seed substrate)
-	costPNJTuple  = 80    // PNJ partitioning cost per input tuple
-	costPNJSetup  = 75000 // PNJ per-worker setup (goroutines, partition buffers)
-	pnjEfficiency = 0.5   // marginal speedup per extra PNJ worker
-	pnjMaxSpeedup = 5     // parallel-speedup ceiling (skew, materialization)
 )
 
 // Estimate is the cost model's verdict on one TP join: the estimated cost
@@ -68,40 +53,59 @@ type Estimate struct {
 	Inputs []string
 }
 
+// JoinShape derives the two workload terms every strategy's cost is built
+// from: pairs, the expected number of overlapping same-key tuple pairs
+// (counted from both sides — each tuple meets the partner side's per-key
+// temporal concurrency), and active, NJ's mean active-set size per window
+// (never below one tuple). The calibrator fits its constants through this
+// same function, so fitted constants and estimates share one unit system.
+func JoinShape(ls, rs *stats.Stats, theta tp.Theta) (pairs, active float64) {
+	lk, rk := keyInfos(ls, rs, theta)
+	nl, nr := float64(ls.Tuples), float64(rs.Tuples)
+	pairs = nl*rk.Concurrency + nr*lk.Concurrency
+	active = math.Max(1, (lk.Concurrency+rk.Concurrency)/2)
+	return pairs, active
+}
+
+func keyInfos(ls, rs *stats.Stats, theta tp.Theta) (lk, rk stats.KeyInfo) {
+	if eq, ok := theta.(tp.EquiTheta); ok {
+		return ls.Key(eq.RCols), rs.Key(eq.SCols)
+	}
+	// Non-equi conditions (unreachable from the SQL dialect, which only
+	// builds ON equalities) are treated as a single all-matching key.
+	return ls.Key(nil), rs.Key(nil)
+}
+
 // EstimateJoin scores the physical strategies for a join of the two
-// relations summarized by ls and rs under theta. workers is the session's
+// relations summarized by ls and rs under theta, priced by cal (nil means
+// the checked-in default calibration). workers is the session's
 // join_workers setting (0 = one per CPU); taNestedLoop prices the TA
 // baseline's nested-loop plan instead of its hash plan. Non-equi
-// conditions (unreachable from the SQL dialect, which only builds ON
-// equalities) are treated as a single all-matching key and exclude PNJ.
-func EstimateJoin(lname string, ls *stats.Stats, rname string, rs *stats.Stats, theta tp.Theta, workers int, taNestedLoop bool) Estimate {
-	nl, nr := float64(ls.Tuples), float64(rs.Tuples)
-	var lk, rk stats.KeyInfo
-	equi := false
-	if eq, ok := theta.(tp.EquiTheta); ok {
-		lk, rk = ls.Key(eq.RCols), rs.Key(eq.SCols)
-		equi = true
-	} else {
-		lk, rk = ls.Key(nil), rs.Key(nil)
+// conditions exclude the partitioned strategies (PNJ, PTA).
+func EstimateJoin(lname string, ls *stats.Stats, rname string, rs *stats.Stats, theta tp.Theta, workers int, taNestedLoop bool, cal *Calibration) Estimate {
+	if cal == nil {
+		cal = DefaultCalibration()
 	}
-
-	// Overlapping same-key pairs, counted from both sides: each tuple
-	// meets the partner side's per-key concurrency. This is the shared
-	// driver of NJ windows and TA fragments.
-	pairs := nl*rk.Concurrency + nr*lk.Concurrency
-	// NJ's active set per window; never below one tuple.
-	active := math.Max(1, (lk.Concurrency+rk.Concurrency)/2)
+	nl, nr := float64(ls.Tuples), float64(rs.Tuples)
+	lk, rk := keyInfos(ls, rs, theta)
+	_, equi := theta.(tp.EquiTheta)
+	pairs, active := JoinShape(ls, rs, theta)
 
 	var e Estimate
-	e.Costs[engine.StrategyNJ] = costNJTuple*(nl+nr) + costNJWindow*pairs*active
+	e.Costs[engine.StrategyNJ] = cal.NJTuple*(nl+nr) + cal.NJWindow*pairs*active
 
+	// The TA pair term: alignment work linear in the overlapping same-key
+	// pairs under the hash plan, the full cross product under the forced
+	// nested-loop plan (Fig. 7a's shape).
+	taPairTerm := cal.TAFrag * pairs
 	if taNestedLoop {
-		e.Costs[engine.StrategyTA] = costTATuple*(nl+nr) + costTANLPair*nl*nr
-	} else {
-		e.Costs[engine.StrategyTA] = costTATuple*(nl+nr) + costTAFrag*pairs
+		taPairTerm = cal.TANLPair * nl * nr
 	}
+	e.Costs[engine.StrategyTA] = cal.TATuple*(nl+nr) + taPairTerm
 
 	if equi {
+		// A key's group is indivisible across partitions, so parallelism
+		// is bounded by the matched-key cardinality.
 		w := workers
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
@@ -109,19 +113,19 @@ func EstimateJoin(lname string, ls *stats.Stats, rname string, rs *stats.Stats, 
 		if w > MaxJoinWorkers {
 			w = MaxJoinWorkers
 		}
-		// A key's group is indivisible across partitions, so parallelism
-		// is bounded by the matched-key cardinality.
 		if m := min(lk.Distinct, rk.Distinct); w > m {
 			w = m
 		}
 		if w < 1 {
 			w = 1
 		}
-		speedup := math.Min(pnjMaxSpeedup, 1+float64(w-1)*pnjEfficiency)
-		e.Costs[engine.StrategyPNJ] = (costNJTuple+costPNJTuple)*(nl+nr) +
-			costNJWindow*pairs*active/speedup + costPNJSetup*float64(w)
+		speedup := math.Min(cal.ParMaxSpeedup, 1+float64(w-1)*cal.ParEfficiency)
+		par := cal.ParTuple*(nl+nr) + cal.ParSetup*float64(w)
+		e.Costs[engine.StrategyPNJ] = cal.NJTuple*(nl+nr) + cal.NJWindow*pairs*active/speedup + par
+		e.Costs[engine.StrategyPTA] = cal.TATuple*(nl+nr) + taPairTerm/speedup + par
 	} else {
 		e.Costs[engine.StrategyPNJ] = math.Inf(1)
+		e.Costs[engine.StrategyPTA] = math.Inf(1)
 	}
 
 	e.Chosen = engine.StrategyNJ

@@ -2,9 +2,10 @@
 // operator trees (internal/engine): name resolution against the catalog,
 // column binding, θ-condition construction, physical join-strategy
 // selection — forced per session like the paper's PostgreSQL GUC
-// (SET strategy = nj|ta|pnj), or chosen per join by the cost model over
-// catalog statistics (SET strategy = auto, the default; see cost.go) —
-// and EXPLAIN rendering.
+// (SET strategy = nj|ta|pnj|pta), or chosen per join by the cost model
+// over catalog statistics (SET strategy = auto, the default; see cost.go)
+// priced by a measured calibration (calibration.go) — and EXPLAIN
+// rendering.
 package plan
 
 import (
@@ -47,6 +48,7 @@ const (
 	StrategyNJ
 	StrategyTA
 	StrategyPNJ
+	StrategyPTA
 )
 
 func (s Strategy) String() string {
@@ -59,6 +61,8 @@ func (s Strategy) String() string {
 		return "TA"
 	case StrategyPNJ:
 		return "PNJ"
+	case StrategyPTA:
+		return "PTA"
 	default:
 		return fmt.Sprintf("strategy(%d)", uint8(s))
 	}
@@ -74,6 +78,8 @@ func (s Strategy) Physical() (strat engine.Strategy, forced bool) {
 		return engine.StrategyTA, true
 	case StrategyPNJ:
 		return engine.StrategyPNJ, true
+	case StrategyPTA:
+		return engine.StrategyPTA, true
 	default:
 		return engine.StrategyNJ, false
 	}
@@ -87,9 +93,12 @@ type Session struct {
 	// TANestedLoop forces the nested-loop plan for the TA baseline
 	// (the plan PostgreSQL chose in the paper's evaluation).
 	TANestedLoop bool
-	// Workers is the PNJ worker count (SET join_workers); 0 means one
-	// worker per CPU (GOMAXPROCS).
+	// Workers is the parallel-executor worker count for PNJ and PTA
+	// (SET join_workers); 0 means one worker per CPU (GOMAXPROCS).
 	Workers int
+	// Calib overrides the cost model's measured calibration
+	// (SET calibration = '<file>'); nil means the checked-in default.
+	Calib *Calibration
 
 	// planned records the TP join of the session's most recent Build:
 	// the physical strategy it got and whether the cost model (rather
@@ -116,8 +125,10 @@ func (s *Session) PlannedJoin() (strat engine.Strategy, auto, ok bool) {
 func (s *Session) ResetPlanned() { s.planned.join = false }
 
 // ApplySet updates the session from a SET statement. Setting names and
-// values are case-insensitive. Supported settings:
-// strategy = auto|nj|ta|pnj, ta_nested_loop = on|off, join_workers = <n>.
+// values are case-insensitive (calibration file paths excepted).
+// Supported settings: strategy = auto|nj|ta|pnj|pta,
+// ta_nested_loop = on|off, join_workers = <n>,
+// calibration = '<file.json>'|default.
 func (s *Session) ApplySet(st *sql.Set) error {
 	name := strings.ToLower(st.Name)
 	value := strings.ToLower(st.Value)
@@ -132,8 +143,10 @@ func (s *Session) ApplySet(st *sql.Set) error {
 			s.Strategy = StrategyTA
 		case "pnj":
 			s.Strategy = StrategyPNJ
+		case "pta":
+			s.Strategy = StrategyPTA
 		default:
-			return fmt.Errorf("plan: unknown strategy %q (want auto, nj, ta or pnj)", value)
+			return fmt.Errorf("plan: unknown strategy %q (want auto, nj, ta, pnj or pta)", value)
 		}
 	case "join_workers":
 		n, err := strconv.Atoi(st.Value)
@@ -150,8 +163,20 @@ func (s *Session) ApplySet(st *sql.Set) error {
 		default:
 			return fmt.Errorf("plan: ta_nested_loop wants on or off (also true/false, 1/0), got %q", value)
 		}
+	case "calibration":
+		// The file path is taken verbatim (SET calibration = 'cal.json');
+		// the keyword "default" restores the checked-in calibration.
+		if value == "default" {
+			s.Calib = nil
+			return nil
+		}
+		cal, err := LoadCalibration(st.Value)
+		if err != nil {
+			return fmt.Errorf("plan: calibration: %w", err)
+		}
+		s.Calib = cal
 	default:
-		return fmt.Errorf("plan: unknown setting %q (want strategy, join_workers or ta_nested_loop)", name)
+		return fmt.Errorf("plan: unknown setting %q (want strategy, join_workers, ta_nested_loop or calibration)", name)
 	}
 	return nil
 }
@@ -260,7 +285,7 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 		// the key distribution materially).
 		strategy, forced := sess.Strategy.Physical()
 		est := EstimateJoin(sel.From.Binding(), cat.Stats(left),
-			sel.Join.Right.Binding(), cat.Stats(right), theta, sess.Workers, sess.TANestedLoop)
+			sel.Join.Right.Binding(), cat.Stats(right), theta, sess.Workers, sess.TANestedLoop, sess.Calib)
 		if !forced {
 			strategy = est.Chosen
 		}
@@ -693,7 +718,7 @@ func buildNode(op engine.Operator, analyze bool) *Node {
 		kids = []engine.Operator{childOf(o)}
 	case *engine.TPJoin:
 		n.Desc = fmt.Sprintf("TPJoin [%s] strategy=%s", joinName(o), o.Strategy())
-		if o.Strategy() == engine.StrategyPNJ {
+		if o.Strategy() == engine.StrategyPNJ || o.Strategy() == engine.StrategyPTA {
 			if w := o.Workers(); w > 0 {
 				n.Desc += fmt.Sprintf(" workers=%d", w)
 			} else {

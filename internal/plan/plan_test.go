@@ -2,6 +2,8 @@ package plan
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -209,6 +211,9 @@ func TestApplySet(t *testing.T) {
 	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "pnj"}); err != nil || s.Strategy != StrategyPNJ {
 		t.Errorf("SET strategy=pnj failed: %v", err)
 	}
+	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "pta"}); err != nil || s.Strategy != StrategyPTA {
+		t.Errorf("SET strategy=pta failed: %v", err)
+	}
 	// Case-insensitive names and values, and the auto round-trip.
 	if err := s.ApplySet(&sql.Set{Name: "Strategy", Value: "AUTO"}); err != nil || s.Strategy != StrategyAuto {
 		t.Errorf("SET Strategy=AUTO failed: %v", err)
@@ -220,11 +225,11 @@ func TestApplySet(t *testing.T) {
 	// names/values must produce errors that list the accepted
 	// alternatives, not confusing downstream failures.
 	if err := s.ApplySet(&sql.Set{Name: "strategy", Value: "SELECT"}); err == nil ||
-		!strings.Contains(err.Error(), "want auto, nj, ta or pnj") {
+		!strings.Contains(err.Error(), "want auto, nj, ta, pnj or pta") {
 		t.Errorf("SET strategy=select error must list alternatives, got %v", err)
 	}
 	if err := s.ApplySet(&sql.Set{Name: "strateg", Value: "nj"}); err == nil ||
-		!strings.Contains(err.Error(), "want strategy, join_workers or ta_nested_loop") {
+		!strings.Contains(err.Error(), "want strategy, join_workers, ta_nested_loop or calibration") {
 		t.Errorf("unknown setting error must list setting names, got %v", err)
 	}
 	if err := s.ApplySet(&sql.Set{Name: "ta_nested_loop", Value: "on"}); err != nil || !s.TANestedLoop {
@@ -253,6 +258,45 @@ func TestApplySet(t *testing.T) {
 	}
 	if err := s.ApplySet(&sql.Set{Name: "ta_nested_loop", Value: "maybe"}); err == nil {
 		t.Errorf("bad boolean must error")
+	}
+	if err := s.ApplySet(&sql.Set{Name: "calibration", Value: "/no/such/file.json"}); err == nil {
+		t.Errorf("missing calibration file must error")
+	}
+	if s.Calib != nil {
+		t.Errorf("failed calibration load must not change the session")
+	}
+}
+
+// TestApplySetCalibration round-trips a calibration file through SET:
+// loading installs it, "default" restores the embedded one.
+func TestApplySetCalibration(t *testing.T) {
+	cal := *DefaultCalibration()
+	cal.TATuple = 12345
+	data, err := cal.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cal.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var s Session
+	if err := s.ApplySet(&sql.Set{Name: "calibration", Value: path}); err != nil {
+		t.Fatalf("SET calibration = %q: %v", path, err)
+	}
+	if s.Calib == nil || s.Calib.TATuple != 12345 {
+		t.Fatalf("loaded calibration not installed: %+v", s.Calib)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "calibration", Value: "DEFAULT"}); err != nil || s.Calib != nil {
+		t.Fatalf("SET calibration = default must restore the embedded calibration: %v (%+v)", err, s.Calib)
+	}
+	// A file with a typo'd field is rejected, not silently zero-filled.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nj_tuple_nanos": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "calibration", Value: bad}); err == nil {
+		t.Error("invalid calibration file must error")
 	}
 }
 

@@ -13,13 +13,16 @@ import (
 // The wire protocol is newline-delimited JSON over a stream transport:
 // the client writes one Request per line, the server answers with exactly
 // one Response per Request, in order. One connection is one session: it
-// owns its SET settings — `SET strategy = auto|nj|ta|pnj` selects the physical
-// join (pnj is the partitioned-parallel NJ executor), `SET join_workers =
-// <n>` its worker count (0 = one per CPU), `SET ta_nested_loop = on|off`
-// the TA plan shape — and shares the server's catalog with every other
-// session. The `\metrics` builtin reports per-strategy throughput
-// (queries/rows/exec-seconds per NJ, TA and PNJ) plus the last query's
-// wall time and row count, so strategy comparisons need no profiler.
+// owns its SET settings — `SET strategy = auto|nj|ta|pnj|pta` selects the
+// physical join (pnj and pta are the partitioned-parallel executors of
+// the NJ pipeline and the TA baseline), `SET join_workers = <n>` their
+// worker count (0 = one per CPU), `SET ta_nested_loop = on|off` the TA
+// plan shape, `SET calibration = '<file>'` the cost-model constants the
+// auto picker prices with — and shares the server's catalog with every
+// other session. The `\metrics` builtin reports per-strategy throughput
+// (queries/rows/exec-seconds per NJ, TA, PNJ and PTA) plus the last
+// query's wall time and row count, so strategy comparisons need no
+// profiler.
 // EXPLAIN ANALYZE responses carry the per-operator tree (rows, wall time,
 // stage counters, abort reason) both rendered in Message and as the
 // structured Plan field.

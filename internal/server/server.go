@@ -1,8 +1,9 @@
 // Package server implements tpserverd's concurrent TP-SQL query service:
 // a session manager multiplexing many client connections over one shared,
 // concurrency-safe catalog, with per-session settings (SET strategy =
-// auto|nj|ta|pnj, SET ta_nested_loop), per-query context cancellation and timeouts
-// (which abort even the blocking TA/PNJ strategies mid-Open), EXPLAIN /
+// auto|nj|ta|pnj|pta, SET ta_nested_loop, SET calibration), per-query
+// context cancellation and timeouts (which abort even the blocking
+// TA/PNJ/PTA strategies mid-Open), EXPLAIN /
 // EXPLAIN ANALYZE passthrough with the per-operator tree as structured
 // wire fields, and /metrics-style counters — including per-operator
 // ANALYZE aggregates — exposed through the \metrics builtin.

@@ -75,7 +75,7 @@ var joinQueries = []string{
 	"SELECT * FROM m_r TP ANTI JOIN m_s ON m_r.Key = m_s.Key",
 }
 
-var strategies = []string{"nj", "ta", "pnj"}
+var strategies = []string{"nj", "ta", "pnj", "pta"}
 
 // referenceOutputs renders every (strategy, query) pair through an
 // in-process shell over the same catalog.

@@ -65,14 +65,19 @@ const helpText = `statements:
                                 time and strategy stage counters; a query
                                 aborted by its timeout reports the abort
                                 reason per node
-  SET strategy = auto|nj|ta|pnj
+  SET strategy = auto|nj|ta|pnj|pta
                                 auto (the default) picks the cheapest
                                 strategy per join from catalog statistics;
-                                nj/ta/pnj force one. EXPLAIN shows the
-                                choice, per-strategy cost estimates and
-                                the input stats used
+                                nj/ta force a sequential pipeline, pnj/pta
+                                their partitioned-parallel executors.
+                                EXPLAIN shows the choice, per-strategy
+                                cost estimates and the input stats used
   SET ta_nested_loop = on|off
-  SET join_workers = <n>        PNJ workers (0 = one per CPU)
+  SET join_workers = <n>        PNJ/PTA workers (0 = one per CPU)
+  SET calibration = '<file>'|default
+                                load a cost-model calibration emitted by
+                                tpbench -calibrate (default: the
+                                checked-in measured constants)
 commands:
   \d                      list relations
   \stats <name>           relation statistics (tuples, per-column distinct

@@ -3,6 +3,7 @@ package shell
 import (
 	"bytes"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -72,6 +73,38 @@ func TestSetPNJAndWorkers(t *testing.T) {
 	out = run(t, sh, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
 	if !strings.Contains(out, "(7 rows)") {
 		t.Errorf("PNJ Fig. 1b query must return 7 rows:\n%s", out)
+	}
+}
+
+func TestSetPTA(t *testing.T) {
+	sh := newShell()
+	if out := run(t, sh, "SET strategy = pta"); !strings.Contains(out, "ok") {
+		t.Errorf("SET strategy=pta failed: %s", out)
+	}
+	if out := run(t, sh, "SET join_workers = 2"); !strings.Contains(out, "ok") {
+		t.Errorf("SET join_workers failed: %s", out)
+	}
+	out := run(t, sh, "EXPLAIN SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	if !strings.Contains(out, "strategy=PTA workers=2") {
+		t.Errorf("PTA must show in EXPLAIN:\n%s", out)
+	}
+	// PTA fragments time exactly like the sequential baseline (TA); only
+	// the row order may differ (partition-major vs global union order).
+	got := strings.Split(run(t, sh, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc"), "\n")
+	ta := newShell()
+	run(t, ta, "SET strategy = ta")
+	want := strings.Split(run(t, ta, "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc"), "\n")
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("PTA result differs from TA:\nPTA:\n%s\nTA:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	out = run(t, sh, "EXPLAIN ANALYZE SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+	for _, want := range []string{"stage workers:", "stage partitions:", "stage align-passes:", "stage fragments:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PTA ANALYZE missing %q:\n%s", want, out)
+		}
 	}
 }
 
