@@ -2,12 +2,16 @@
 // shell (or one-shot query runner) against a running tpserverd. Results
 // render byte-identically to the in-process shell.
 //
-//	tpcli [-addr localhost:7654] [-timeout 0] [-e "SELECT ..."]
+//	tpcli [-addr localhost:7654] [-timeout 0] [-v] [-e "SELECT ..."]
 //
 // With -e the single statement is executed and tpcli exits with a
 // non-zero status on error; otherwise a REPL starts. The whole dialect of
 // cmd/tpquery is available, plus the server builtin \metrics. SET
-// statements affect only this session.
+// statements affect only this session. With -v each response is followed
+// by a stderr line carrying the server-assigned query ID and wall time —
+// the same ID the server's structured query log and the EXPLAIN ANALYZE
+// trailer carry, so a slow statement seen here can be joined to its
+// server-side records.
 package main
 
 import (
@@ -18,13 +22,25 @@ import (
 	"os"
 
 	"tpjoin/internal/client"
+	"tpjoin/internal/server"
 )
+
+// verboseTrailer prints the -v line: the server-assigned query ID and the
+// server-measured wall time, on stderr so piped query output stays clean.
+func verboseTrailer(on bool, resp *server.Response) {
+	if !on || resp == nil || resp.QueryID == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "-- query_id=%d elapsed=%.3fms\n",
+		resp.QueryID, float64(resp.ElapsedUS)/1e3)
+}
 
 func main() {
 	var (
 		addr    = flag.String("addr", "localhost:7654", "tpserverd address")
 		timeout = flag.Duration("timeout", 0, "per-query client deadline (0 = none)")
 		oneShot = flag.String("e", "", "execute one statement and exit")
+		verbose = flag.Bool("v", false, "print the server-assigned query ID and wall time after each response (stderr)")
 	)
 	flag.Parse()
 
@@ -50,12 +66,16 @@ func main() {
 				} else {
 					fmt.Println("error:", err)
 				}
+				// A failed statement still carried a query ID the server's
+				// audit log recorded it under.
+				verboseTrailer(*verbose, resp)
 				return false, true
 			}
 			fmt.Fprintln(os.Stderr, "tpcli:", err)
 			return true, true
 		}
 		client.Render(os.Stdout, resp)
+		verboseTrailer(*verbose, resp)
 		return resp.Kind == "quit", false
 	}
 

@@ -3,7 +3,8 @@
 // newline-delimited JSON protocol, with one shared catalog and
 // per-session SET settings.
 //
-//	tpserverd [-addr localhost:7654] [-timeout 30s] [-max-timeout 5m]
+//	tpserverd [-addr localhost:7654] [-http ""] [-timeout 30s]
+//	          [-max-timeout 5m] [-slow-query 1s]
 //	          [-gen webkit:1000] [-gen meteo:1000] [-no-preload] [-quiet]
 //
 // The default bind is loopback-only: the dialect includes \load, \save,
@@ -11,6 +12,7 @@
 // the server's privileges, so exposing the port to untrusted networks is
 // equivalent to granting filesystem access. Bind a non-loopback address
 // (-addr :7654) only behind authentication or inside a trusted network.
+// The same caveat applies to -http, which additionally exposes pprof.
 //
 // Every connection is an isolated session: `SET strategy = ta` on one
 // session never affects another, while CREATE TABLE ... AS, \load and
@@ -19,8 +21,18 @@
 // overridable per request up to -max-timeout) that also interrupts the
 // blocking TA/PNJ join strategies mid-Open; `\metrics` returns
 // Prometheus-style counters (queries served, rows returned, timeouts,
-// active sessions, per-strategy throughput and per-operator EXPLAIN
-// ANALYZE aggregates).
+// active sessions, per-strategy throughput, latency histograms, runtime
+// gauges and per-operator EXPLAIN ANALYZE aggregates).
+//
+// Observability: -http starts the admin HTTP endpoint on its own
+// listener — GET /metrics (Prometheus text exposition, identical to
+// \metrics), GET /healthz (liveness), GET /readyz (readiness) and
+// net/http/pprof under /debug/pprof/. Every evaluated statement gets a
+// monotonic query ID (echoed in the response, printed by tpcli -v) and
+// one structured JSON audit record on stderr — query_id, session,
+// statement, strategy, rows, elapsed, error class — logged at WARN when
+// the query ran longer than -slow-query (or failed), at INFO otherwise;
+// -quiet suppresses both the session log and the audit log.
 //
 // By default the paper's Fig. 1a relations a and b are preloaded; -gen
 // additionally registers synthetic workloads under w_r/w_s (webkit) and
@@ -31,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -40,6 +54,7 @@ import (
 
 	"tpjoin/internal/catalog"
 	"tpjoin/internal/dataset"
+	"tpjoin/internal/obs"
 	"tpjoin/internal/server"
 	"tpjoin/internal/shell"
 	"tpjoin/internal/tp"
@@ -53,10 +68,12 @@ func (g *genFlags) Set(v string) error { *g = append(*g, v); return nil }
 func main() {
 	var (
 		addr       = flag.String("addr", "localhost:7654", "TCP listen address (loopback by default: sessions can read/write server-side files via \\load|\\save)")
+		httpAddr   = flag.String("http", "", "admin HTTP listen address for /metrics, /healthz, /readyz and /debug/pprof (empty = disabled; same trust caveats as -addr)")
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "cap on per-request timeouts (0 = uncapped)")
+		slowQuery  = flag.Duration("slow-query", time.Second, "promote audit-log records of queries at least this slow to WARN (0 = never)")
 		noPreload  = flag.Bool("no-preload", false, "skip preloading the paper's Fig. 1a relations")
-		quiet      = flag.Bool("quiet", false, "suppress per-session logging")
+		quiet      = flag.Bool("quiet", false, "suppress per-session logging and the structured query log")
 		gens       genFlags
 	)
 	flag.Var(&gens, "gen", "preload a synthetic workload, e.g. webkit:1000 or meteo:500 (repeatable)")
@@ -75,6 +92,10 @@ func main() {
 	cfg := server.Config{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout}
 	if !*quiet {
 		cfg.Logf = log.New(os.Stderr, "tpserverd: ", log.LstdFlags).Printf
+		// The structured query/audit log: one JSON record per statement
+		// on stderr, distinguishable from the session log by its JSON
+		// framing, WARN for slow or failed queries.
+		cfg.QueryLog = obs.NewQueryLog(slog.NewJSONHandler(os.Stderr, nil), *slowQuery)
 	}
 	srv := server.New(cat, cfg)
 
@@ -85,6 +106,22 @@ func main() {
 		log.Println("tpserverd: shutting down")
 		srv.Close()
 	}()
+
+	if *httpAddr != "" {
+		// The admin endpoint serves on its own listener so a melted query
+		// port never takes the diagnostics down with it. Bind before the
+		// query listener: /healthz is expected up first, /readyz flips
+		// once ListenAndServe below is accepting.
+		aln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("tpserverd: -http %s: %v", *httpAddr, err)
+		}
+		go func() {
+			if err := srv.ServeAdmin(aln); err != nil {
+				log.Fatalf("tpserverd: admin http: %v", err)
+			}
+		}()
+	}
 
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("tpserverd: %v", err)

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that text is well-formed Prometheus text
+// exposition (version 0.0.4) as produced by MetricsSnapshot.Render:
+//
+//   - every line is a # HELP / # TYPE comment or a `name{labels} value`
+//     sample with a valid metric name, parseable labels and a float value;
+//   - every sample's family has # HELP and # TYPE emitted before its
+//     first sample, with a valid type (counter, gauge or histogram);
+//   - all samples of a family are contiguous (the format requires
+//     grouping) and no series (name + label set) appears twice;
+//   - histogram families carry cumulative, non-decreasing buckets whose
+//     +Inf bucket equals the _count sample, per label set.
+//
+// It returns the first violation found, or nil. The CI e2e job and the
+// format regression tests share this single definition of "parseable".
+func ValidateExposition(text string) error {
+	p := expositionParser{
+		types:  map[string]string{},
+		helped: map[string]bool{},
+		closed: map[string]bool{},
+		series: map[string]bool{},
+		hists:  map[string]*histSeries{},
+	}
+	for i, line := range strings.Split(text, "\n") {
+		if err := p.line(line); err != nil {
+			return fmt.Errorf("line %d: %w: %q", i+1, err, line)
+		}
+	}
+	return p.finish()
+}
+
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+type histSeries struct {
+	labels   string // series key without the le label
+	bad      bool   // bucket order or cumulativity violated
+	lastCum  float64
+	lastLe   float64
+	infCount float64
+	hasInf   bool
+	count    float64
+	hasCount bool
+}
+
+type expositionParser struct {
+	types  map[string]string // family → counter|gauge|histogram
+	helped map[string]bool
+	closed map[string]bool // family had samples and a later family started
+	series map[string]bool // duplicate-series detection
+	hists  map[string]*histSeries
+	cur    string // family currently emitting samples
+}
+
+func (p *expositionParser) line(line string) error {
+	if line == "" {
+		return nil
+	}
+	if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+		name, _, ok := strings.Cut(rest, " ")
+		if !ok || !metricName.MatchString(name) {
+			return fmt.Errorf("malformed HELP")
+		}
+		p.helped[name] = true
+		return nil
+	}
+	if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+		name, typ, ok := strings.Cut(rest, " ")
+		if !ok || !metricName.MatchString(name) {
+			return fmt.Errorf("malformed TYPE")
+		}
+		switch typ {
+		case "counter", "gauge", "histogram":
+		default:
+			return fmt.Errorf("invalid type %q", typ)
+		}
+		if _, dup := p.types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for family %s", name)
+		}
+		p.types[name] = typ
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return fmt.Errorf("unknown comment")
+	}
+	return p.sample(line)
+}
+
+// sample parses one `name{labels} value` line.
+func (p *expositionParser) sample(line string) error {
+	nameAndLabels, valueText, ok := strings.Cut(line, " ")
+	if !ok || valueText == "" || strings.Contains(valueText, " ") {
+		return fmt.Errorf("want 'name value'")
+	}
+	value, err := strconv.ParseFloat(valueText, 64)
+	if err != nil {
+		return fmt.Errorf("bad value: %v", err)
+	}
+	name := nameAndLabels
+	labels := map[string]string{}
+	if open := strings.IndexByte(nameAndLabels, '{'); open >= 0 {
+		if !strings.HasSuffix(nameAndLabels, "}") {
+			return fmt.Errorf("unterminated label set")
+		}
+		name = nameAndLabels[:open]
+		if err := parseLabels(nameAndLabels[open+1:len(nameAndLabels)-1], labels); err != nil {
+			return err
+		}
+	}
+	if !metricName.MatchString(name) {
+		return fmt.Errorf("bad metric name %q", name)
+	}
+
+	family, sampleKind := name, ""
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && p.types[base] == "histogram" {
+			family, sampleKind = base, suffix
+			break
+		}
+	}
+	if !p.helped[family] {
+		return fmt.Errorf("sample before # HELP %s", family)
+	}
+	typ, ok := p.types[family]
+	if !ok {
+		return fmt.Errorf("sample before # TYPE %s", family)
+	}
+	if typ == "histogram" && sampleKind == "" {
+		return fmt.Errorf("bare sample %s in histogram family %s", name, family)
+	}
+	if typ != "histogram" && len(labels) > 0 {
+		// Label sets on plain families are fine — but an le label is the
+		// histogram convention and would mean a TYPE mismatch.
+		if _, hasLe := labels["le"]; hasLe {
+			return fmt.Errorf("le label on non-histogram family %s", family)
+		}
+	}
+
+	// Grouping: once another family has emitted samples, this family must
+	// not reappear.
+	if p.cur != family {
+		if p.closed[family] {
+			return fmt.Errorf("family %s not contiguous", family)
+		}
+		if p.cur != "" {
+			p.closed[p.cur] = true
+		}
+		p.cur = family
+	}
+
+	key := seriesKey(name, labels)
+	if p.series[key] {
+		return fmt.Errorf("duplicate series %s", key)
+	}
+	p.series[key] = true
+
+	if typ == "histogram" {
+		p.histSample(family, sampleKind, labels, value)
+	}
+	if typ == "counter" && value < 0 {
+		return fmt.Errorf("negative counter")
+	}
+	return nil
+}
+
+// histSample tracks per-label-set bucket monotonicity and the
+// +Inf-equals-count invariant.
+func (p *expositionParser) histSample(family, kind string, labels map[string]string, value float64) {
+	le := labels["le"]
+	delete(labels, "le")
+	hkey := seriesKey(family, labels)
+	h := p.hists[hkey]
+	if h == nil {
+		h = &histSeries{labels: hkey, lastLe: -1}
+		p.hists[hkey] = h
+	}
+	switch kind {
+	case "_bucket":
+		if le == "+Inf" {
+			h.infCount, h.hasInf = value, true
+			return
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil || bound <= h.lastLe {
+			h.bad = true
+		}
+		if value < h.lastCum {
+			h.bad = true
+		} else {
+			h.lastCum = value
+		}
+		h.lastLe = bound
+	case "_count":
+		h.count, h.hasCount = value, true
+	}
+}
+
+func (p *expositionParser) finish() error {
+	for key, h := range p.hists {
+		if h.bad {
+			return fmt.Errorf("histogram %s: buckets not cumulative/ordered", key)
+		}
+		if !h.hasInf || !h.hasCount {
+			return fmt.Errorf("histogram %s: missing +Inf bucket or _count", key)
+		}
+		if h.infCount != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", key, h.infCount, h.count)
+		}
+		if h.infCount < h.lastCum {
+			return fmt.Errorf("histogram %s: +Inf bucket below last finite bucket", key)
+		}
+	}
+	return nil
+}
+
+// parseLabels parses `k="v",k2="v2"` into dst.
+func parseLabels(s string, dst map[string]string) error {
+	for s != "" {
+		k, rest, ok := strings.Cut(s, "=")
+		if !ok || !metricName.MatchString(k) {
+			return fmt.Errorf("bad label name in %q", s)
+		}
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value in %q", s)
+		}
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", s)
+		}
+		v := rest[1 : 1+end]
+		if _, dup := dst[k]; dup {
+			return fmt.Errorf("duplicate label %s", k)
+		}
+		dst[k] = v
+		s = rest[2+end:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return nil
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

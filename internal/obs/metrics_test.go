@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tpjoin/internal/engine"
+	"tpjoin/internal/plan"
+)
+
+// populatedMetrics builds a collector exercising every family: sessions,
+// successes across strategies, an error, a timeout and an ANALYZE tree.
+func populatedMetrics() *Metrics {
+	m := NewMetrics()
+	m.SessionOpened()
+	m.SessionOpened()
+	m.SessionClosed()
+	for s := engine.Strategy(0); s < engine.NumStrategies; s++ {
+		m.ObserveQuery(QueryOutcome{
+			Strategy: s, AutoPick: s%2 == 0, RowsKind: true,
+			Rows: 10 * int(s+1), Elapsed: time.Duration(s+1) * time.Millisecond,
+		})
+	}
+	m.ObserveQuery(QueryOutcome{Strategy: engine.StrategyNJ, Err: errors.New("boom"), Elapsed: time.Millisecond})
+	m.ObserveQuery(QueryOutcome{Strategy: engine.StrategyTA, Err: context.DeadlineExceeded, Elapsed: time.Second})
+	m.ObserveQuery(QueryOutcome{
+		Strategy: engine.StrategyNJ, RowsKind: false, Elapsed: time.Millisecond,
+		Plan: &plan.Tree{Analyze: true, Root: &plan.Node{
+			Desc: "TPJoin [INNER] strategy=NJ", Rows: 7, TimeUS: 1200,
+			Children: []*plan.Node{{Desc: "Scan a (2 tuples)", Rows: 2}},
+		}},
+	})
+	return m
+}
+
+// TestRenderWellFormed is the parser-based exposition regression: every
+// line of Render must be well-formed, every family HELP/TYPE'd before its
+// samples and contiguous, no duplicate series, histogram buckets
+// cumulative with +Inf == _count.
+func TestRenderWellFormed(t *testing.T) {
+	text := populatedMetrics().Snapshot().Render()
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("exposition not well-formed: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE tpserverd_query_seconds histogram",
+		`tpserverd_query_seconds_bucket{strategy="NJ",le="0.00316"} 1`,
+		`tpserverd_query_seconds_bucket{strategy="NJ",le="+Inf"} 1`,
+		`tpserverd_query_seconds_count{strategy="NJ"} 1`,
+		`tpserverd_query_rows_bucket{le="31"} 3`,
+		"tpserverd_uptime_seconds ",
+		"tpserverd_go_goroutines ",
+		"tpserverd_go_heap_inuse_bytes ",
+		"tpserverd_go_gc_pause_seconds_total ",
+		"tpserverd_query_errors_total 2",
+		"tpserverd_query_timeouts_total 1",
+		"tpserverd_sessions_active 1",
+		`tpserverd_analyze_rows_total{op="Scan"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// The runtime gauges are real readings, not zeros.
+	s := populatedMetrics().Snapshot()
+	if s.Goroutines <= 0 || s.HeapInuseBytes <= 0 || s.UptimeSeconds < 0 {
+		t.Errorf("runtime gauges not populated: %+v", s)
+	}
+}
+
+// TestValidateExpositionRejects pins the validator's teeth: hand-broken
+// expositions must fail, or the format test proves nothing.
+func TestValidateExpositionRejects(t *testing.T) {
+	for name, text := range map[string]string{
+		"sample before HELP/TYPE": "x_total 1\n",
+		"bad value":               "# HELP x_total h\n# TYPE x_total counter\nx_total one\n",
+		"duplicate series":        "# HELP x_total h\n# TYPE x_total counter\nx_total 1\nx_total 2\n",
+		"invalid type":            "# HELP x h\n# TYPE x summary2\nx 1\n",
+		"non-contiguous family":   "# HELP x h\n# TYPE x counter\n# HELP y h\n# TYPE y counter\nx 1\ny 1\nx{a=\"b\"} 1\n",
+		"unterminated labels":     "# HELP x h\n# TYPE x counter\nx{a=\"b 1\n",
+		"histogram without count": "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\n",
+		"non-cumulative buckets":  "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"inf != count":            "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 2\n",
+	} {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: validator accepted broken exposition:\n%s", name, text)
+		}
+	}
+	// And the happy path with a labelled histogram stays accepted.
+	ok := "# HELP h h\n# TYPE h histogram\n" +
+		"h_bucket{s=\"a\",le=\"1\"} 1\nh_bucket{s=\"a\",le=\"+Inf\"} 2\nh_sum{s=\"a\"} 3\nh_count{s=\"a\"} 2\n" +
+		"h_bucket{s=\"b\",le=\"1\"} 0\nh_bucket{s=\"b\",le=\"+Inf\"} 0\nh_sum{s=\"b\"} 0\nh_count{s=\"b\"} 0\n"
+	if err := ValidateExposition(ok); err != nil {
+		t.Errorf("validator rejected well-formed exposition: %v", err)
+	}
+}
+
+// TestConcurrentObserveVsRender races histogram records and counter
+// updates against /metrics-style scrapes; meaningful under -race (CI
+// runs this package in the race job), and every scrape must stay
+// parseable mid-flight.
+func TestConcurrentObserveVsRender(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.ObserveQuery(QueryOutcome{
+					Strategy: engine.Strategy(i % int(engine.NumStrategies)),
+					RowsKind: true, Rows: i % 1000,
+					Elapsed: time.Duration(i%50) * time.Millisecond,
+				})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		if err := ValidateExposition(m.Snapshot().Render()); err != nil {
+			t.Errorf("scrape %d unparseable during concurrent records: %v", i, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := ValidateExposition(m.Snapshot().Render()); err != nil {
+		t.Errorf("final scrape unparseable: %v", err)
+	}
+}
+
+// TestLiveExposition validates a running server's /metrics endpoint when
+// METRICS_URL is set (the CI e2e job sets it after starting tpserverd
+// with -http); otherwise it skips. This is the "fail on unparseable
+// exposition output" gate.
+func TestLiveExposition(t *testing.T) {
+	url := os.Getenv("METRICS_URL")
+	if url == "" {
+		t.Skip("METRICS_URL not set; live exposition check runs in the CI e2e job")
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(string(body)); err != nil {
+		t.Fatalf("live exposition not well-formed: %v", err)
+	}
+	for _, want := range []string{
+		"tpserverd_query_seconds_bucket{strategy=",
+		"tpserverd_uptime_seconds",
+		"tpserverd_queries_served_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("live exposition missing %q", want)
+		}
+	}
+	fmt.Printf("live exposition ok: %d bytes\n", len(body))
+}

@@ -640,6 +640,12 @@ type Tree struct {
 	// (timeout or cancellation); the per-operator counters then reflect
 	// the work done up to the abort.
 	Abort string `json:"abort,omitempty"`
+	// QueryID is the server-assigned query identity, stamped by tpserverd
+	// after execution so the ANALYZE trailer can be joined against the
+	// structured query log and Response.QueryID. Zero on surfaces without
+	// query IDs (the in-process REPL), and then omitted from the
+	// rendering.
+	QueryID uint64 `json:"query_id,omitempty"`
 }
 
 // Explain renders the operator tree of a SELECT, annotated with the join
@@ -780,8 +786,12 @@ func (t *Tree) Render() string {
 	var b strings.Builder
 	renderNode(&b, t.Root, 0, t.Analyze)
 	if t.Analyze {
-		fmt.Fprintf(&b, "total: time=%.3fms alloc=%dKB\n",
+		fmt.Fprintf(&b, "total: time=%.3fms alloc=%dKB",
 			float64(t.TotalUS)/1e3, t.AllocBytes/1024)
+		if t.QueryID != 0 {
+			fmt.Fprintf(&b, " query_id=%d", t.QueryID)
+		}
+		b.WriteByte('\n')
 		if t.Abort != "" {
 			fmt.Fprintf(&b, "aborted: %s\n", t.Abort)
 		}

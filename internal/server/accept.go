@@ -1,0 +1,45 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"syscall"
+)
+
+// isTransientAccept reports whether an Accept error is worth retrying
+// with backoff instead of stopping the accept loop. This replaces the
+// deprecated net.Error.Temporary() check with an explicit classification:
+// Temporary() was deprecated precisely because "temporary" had no defined
+// meaning, so the retry set is spelled out.
+//
+// Transient:
+//   - ECONNABORTED / ECONNRESET: the connection died in the backlog
+//     before we accepted it — the listener is fine.
+//   - EMFILE / ENFILE: process/system fd exhaustion under load; sessions
+//     closing will free descriptors, so backing off and retrying is the
+//     only behavior that survives a burst.
+//   - ENOBUFS / ENOMEM: transient kernel resource exhaustion.
+//   - EINTR: interrupted syscall.
+//   - Timeouts (net.Error.Timeout()), e.g. from a listener deadline.
+//
+// Everything else — notably net.ErrClosed and EBADF/EINVAL from a closed
+// or broken listener — is permanent: retrying would spin forever on a
+// listener that can never accept again.
+func isTransientAccept(err error) bool {
+	if err == nil || errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	var errno syscall.Errno
+	if errors.As(err, &errno) {
+		switch errno {
+		case syscall.ECONNABORTED, syscall.ECONNRESET,
+			syscall.EMFILE, syscall.ENFILE,
+			syscall.ENOBUFS, syscall.ENOMEM,
+			syscall.EINTR:
+			return true
+		}
+		return false
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"tpjoin/internal/catalog"
+)
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return false }
+
+func TestIsTransientAccept(t *testing.T) {
+	wrap := func(errno syscall.Errno) error {
+		// Accept errors surface wrapped like the runtime wraps them:
+		// *net.OpError around *os.SyscallError around the errno.
+		return &net.OpError{Op: "accept", Net: "tcp",
+			Err: os.NewSyscallError("accept", errno)}
+	}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"ErrClosed", net.ErrClosed, false},
+		{"wrapped ErrClosed", &net.OpError{Op: "accept", Err: net.ErrClosed}, false},
+		{"ECONNABORTED", wrap(syscall.ECONNABORTED), true},
+		{"ECONNRESET", wrap(syscall.ECONNRESET), true},
+		{"EMFILE", wrap(syscall.EMFILE), true},
+		{"ENFILE", wrap(syscall.ENFILE), true},
+		{"ENOBUFS", wrap(syscall.ENOBUFS), true},
+		{"ENOMEM", wrap(syscall.ENOMEM), true},
+		{"EINTR", wrap(syscall.EINTR), true},
+		{"bare EMFILE", syscall.EMFILE, true},
+		{"EBADF", wrap(syscall.EBADF), false},
+		{"EINVAL", wrap(syscall.EINVAL), false},
+		{"plain error", errors.New("boom"), false},
+		{"timeout net.Error", timeoutErr{}, true},
+		{"wrapped timeout", &net.OpError{Op: "accept", Err: timeoutErr{}}, true},
+	}
+	for _, c := range cases {
+		if got := isTransientAccept(c.err); got != c.want {
+			t.Errorf("%s: isTransientAccept = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// scriptedListener replays a sequence of Accept errors, then a permanent
+// one; it never yields a connection.
+type scriptedListener struct {
+	errs  []error
+	calls int
+	done  chan struct{}
+}
+
+func (l *scriptedListener) Accept() (net.Conn, error) {
+	if l.calls >= len(l.errs) {
+		<-l.done // keep any over-call parked instead of panicking
+		return nil, net.ErrClosed
+	}
+	err := l.errs[l.calls]
+	l.calls++
+	return nil, err
+}
+func (l *scriptedListener) Close() error   { close(l.done); return nil }
+func (l *scriptedListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zero} }
+
+// TestServeAcceptBackoff pins the accept-retry contract: transient errors
+// are retried with exponential backoff (5ms, 10ms, 20ms, ...), a
+// permanent error stops Serve and is returned.
+func TestServeAcceptBackoff(t *testing.T) {
+	transient := &net.OpError{Op: "accept",
+		Err: os.NewSyscallError("accept", syscall.EMFILE)}
+	permanent := fmt.Errorf("listener wedged: %w", syscall.EINVAL)
+	ln := &scriptedListener{
+		errs: []error{transient, transient, transient, permanent},
+		done: make(chan struct{}),
+	}
+	srv := New(catalog.New(), Config{})
+	defer srv.Close()
+	start := time.Now()
+	err := srv.Serve(ln)
+	elapsed := time.Since(start)
+	if !errors.Is(err, syscall.EINVAL) {
+		t.Fatalf("Serve returned %v, want the permanent error", err)
+	}
+	if ln.calls != 4 {
+		t.Errorf("accept called %d times, want 4 (3 retries + permanent)", ln.calls)
+	}
+	// Three transient failures back off 5 + 10 + 20 = 35ms before the
+	// fourth accept; sleeps are lower bounds, so assert only the floor.
+	if elapsed < 35*time.Millisecond {
+		t.Errorf("Serve returned after %v, want >= 35ms of backoff", elapsed)
+	}
+}

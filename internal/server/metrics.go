@@ -1,224 +1,20 @@
 package server
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
+import "tpjoin/internal/obs"
 
-	"tpjoin/internal/engine"
-	"tpjoin/internal/plan"
-)
+// The metrics collector lives in internal/obs since the observability
+// layer landed: the REPL's \metrics builtin and tpserverd's HTTP /metrics
+// endpoint render through the same obs.MetricsSnapshot.Render path, so
+// the type had to move below both surfaces. These aliases keep the
+// server API spelling (server.MetricsSnapshot) stable.
 
-// strategyCount is the number of join strategies broken out in the
-// per-strategy counters, taken from the engine's enum so a new strategy
-// is counted from the day it exists.
-const strategyCount = int(engine.NumStrategies)
+// MetricsSnapshot is a point-in-time copy of the server counters; see
+// obs.MetricsSnapshot.
+type MetricsSnapshot = obs.MetricsSnapshot
 
-// Metrics are the server's monotonic counters (plus the active-session
-// gauge), updated atomically by the session goroutines. Snapshot returns
-// a consistent-enough point-in-time copy; Render produces a
-// Prometheus-style text exposition served by the \metrics builtin.
-//
-// Besides the totals, queries, rows and execution time are broken out per
-// join strategy (the session's SET strategy at execution time), so NJ vs
-// PNJ vs TA server-side throughput is observable without a profiler, and
-// the last query's wall time and row count are exported as gauges.
-type Metrics struct {
-	sessionsOpened atomic.Int64
-	sessionsActive atomic.Int64
-	queriesServed  atomic.Int64
-	queryErrors    atomic.Int64
-	queryTimeouts  atomic.Int64
-	rowsReturned   atomic.Int64
-	execMicros     atomic.Int64
-
-	// lastQuery holds both last-query values behind one pointer, so a
-	// \metrics scrape never reports a torn pair (rows from one query,
-	// seconds from another) under concurrent sessions.
-	lastQuery atomic.Pointer[lastQuerySample]
-
-	perStrategy [strategyCount]strategyMetrics
-
-	// autoPicks counts, per physical strategy, how many TP joins the
-	// cost-based picker (SET strategy = auto) routed there — the server's
-	// view of which side of the paper's workload dichotomy its traffic
-	// lands on.
-	autoPicks [strategyCount]atomic.Int64
-
-	// perOp aggregates the per-operator ANALYZE counters (rows produced
-	// and inclusive wall time per operator kind) across every EXPLAIN
-	// ANALYZE the server executed — the same counters the ANALYZE tree
-	// reports per query, accumulated for \metrics. Guarded by opMu;
-	// ANALYZE is a diagnostic path, so a mutex (not atomics) is fine.
-	opMu  sync.Mutex
-	perOp map[string]*opCounters
-}
-
-type opCounters struct {
-	nodes  int64
-	rows   int64
-	micros int64
-}
-
-// recordAnalyze folds one executed ANALYZE plan into the per-operator
-// counters, keyed by operator kind (the first token of the node
-// description, e.g. "TPJoin", "Scan").
-func (m *Metrics) recordAnalyze(t *plan.Tree) {
-	if t == nil || !t.Analyze || t.Root == nil {
-		return
-	}
-	m.opMu.Lock()
-	defer m.opMu.Unlock()
-	if m.perOp == nil {
-		m.perOp = make(map[string]*opCounters)
-	}
-	var walk func(n *plan.Node)
-	walk = func(n *plan.Node) {
-		kind, _, _ := strings.Cut(n.Desc, " ")
-		c := m.perOp[kind]
-		if c == nil {
-			c = &opCounters{}
-			m.perOp[kind] = c
-		}
-		c.nodes++
-		c.rows += n.Rows
-		c.micros += n.TimeUS
-		for _, k := range n.Children {
-			walk(k)
-		}
-	}
-	walk(t.Root)
-}
-
-type lastQuerySample struct {
-	micros int64
-	rows   int64
-}
-
-type strategyMetrics struct {
-	queries atomic.Int64
-	rows    atomic.Int64
-	micros  atomic.Int64
-}
-
-// recordAutoPick counts one cost-based strategy pick.
-func (m *Metrics) recordAutoPick(strategy engine.Strategy) {
-	if int(strategy) < strategyCount {
-		m.autoPicks[strategy].Add(1)
-	}
-}
-
-// recordQuery attributes one executed query to its join strategy and
-// updates the last-query gauges.
-func (m *Metrics) recordQuery(strategy engine.Strategy, rows int, micros int64) {
-	m.lastQuery.Store(&lastQuerySample{micros: micros, rows: int64(rows)})
-	if int(strategy) >= strategyCount {
-		return
-	}
-	sm := &m.perStrategy[strategy]
-	sm.queries.Add(1)
-	sm.rows.Add(int64(rows))
-	sm.micros.Add(micros)
-}
-
-// MetricsSnapshot is a point-in-time copy of the counters.
-type MetricsSnapshot struct {
-	SessionsOpened int64
-	SessionsActive int64
-	QueriesServed  int64
-	QueryErrors    int64
-	QueryTimeouts  int64
-	RowsReturned   int64
-	ExecMicros     int64
-
-	LastQueryMicros int64
-	LastQueryRows   int64
-
-	PerStrategy [strategyCount]StrategySnapshot
-	AutoPicks   [strategyCount]int64
-	PerOperator map[string]OperatorSnapshot
-}
+// StrategySnapshot is the per-strategy slice of the counters.
+type StrategySnapshot = obs.StrategySnapshot
 
 // OperatorSnapshot is the per-operator-kind slice of the ANALYZE
 // counters.
-type OperatorSnapshot struct {
-	Nodes  int64
-	Rows   int64
-	Micros int64
-}
-
-// StrategySnapshot is the per-strategy slice of the counters.
-type StrategySnapshot struct {
-	Queries int64
-	Rows    int64
-	Micros  int64
-}
-
-// Snapshot copies the counters.
-func (m *Metrics) Snapshot() MetricsSnapshot {
-	s := MetricsSnapshot{
-		SessionsOpened: m.sessionsOpened.Load(),
-		SessionsActive: m.sessionsActive.Load(),
-		QueriesServed:  m.queriesServed.Load(),
-		QueryErrors:    m.queryErrors.Load(),
-		QueryTimeouts:  m.queryTimeouts.Load(),
-		RowsReturned:   m.rowsReturned.Load(),
-		ExecMicros:     m.execMicros.Load(),
-	}
-	if lq := m.lastQuery.Load(); lq != nil {
-		s.LastQueryMicros = lq.micros
-		s.LastQueryRows = lq.rows
-	}
-	for i := range m.perStrategy {
-		s.PerStrategy[i] = StrategySnapshot{
-			Queries: m.perStrategy[i].queries.Load(),
-			Rows:    m.perStrategy[i].rows.Load(),
-			Micros:  m.perStrategy[i].micros.Load(),
-		}
-		s.AutoPicks[i] = m.autoPicks[i].Load()
-	}
-	m.opMu.Lock()
-	if len(m.perOp) > 0 {
-		s.PerOperator = make(map[string]OperatorSnapshot, len(m.perOp))
-		for k, c := range m.perOp {
-			s.PerOperator[k] = OperatorSnapshot{Nodes: c.nodes, Rows: c.rows, Micros: c.micros}
-		}
-	}
-	m.opMu.Unlock()
-	return s
-}
-
-// Render writes the counters in Prometheus text-exposition style.
-func (s MetricsSnapshot) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "tpserverd_sessions_opened_total %d\n", s.SessionsOpened)
-	fmt.Fprintf(&b, "tpserverd_sessions_active %d\n", s.SessionsActive)
-	fmt.Fprintf(&b, "tpserverd_queries_served_total %d\n", s.QueriesServed)
-	fmt.Fprintf(&b, "tpserverd_query_errors_total %d\n", s.QueryErrors)
-	fmt.Fprintf(&b, "tpserverd_query_timeouts_total %d\n", s.QueryTimeouts)
-	fmt.Fprintf(&b, "tpserverd_rows_returned_total %d\n", s.RowsReturned)
-	fmt.Fprintf(&b, "tpserverd_exec_seconds_total %g\n", float64(s.ExecMicros)/1e6)
-	fmt.Fprintf(&b, "tpserverd_last_query_seconds %g\n", float64(s.LastQueryMicros)/1e6)
-	fmt.Fprintf(&b, "tpserverd_last_query_rows %d\n", s.LastQueryRows)
-	for i, ss := range s.PerStrategy {
-		label := engine.Strategy(i).String()
-		fmt.Fprintf(&b, "tpserverd_strategy_queries_total{strategy=%q} %d\n", label, ss.Queries)
-		fmt.Fprintf(&b, "tpserverd_strategy_rows_total{strategy=%q} %d\n", label, ss.Rows)
-		fmt.Fprintf(&b, "tpserverd_strategy_exec_seconds_total{strategy=%q} %g\n", label, float64(ss.Micros)/1e6)
-		fmt.Fprintf(&b, "tpserverd_auto_strategy_total{strategy=%q} %d\n", label, s.AutoPicks[i])
-	}
-	ops := make([]string, 0, len(s.PerOperator))
-	for k := range s.PerOperator {
-		ops = append(ops, k)
-	}
-	sort.Strings(ops)
-	for _, k := range ops {
-		os := s.PerOperator[k]
-		fmt.Fprintf(&b, "tpserverd_analyze_nodes_total{op=%q} %d\n", k, os.Nodes)
-		fmt.Fprintf(&b, "tpserverd_analyze_rows_total{op=%q} %d\n", k, os.Rows)
-		fmt.Fprintf(&b, "tpserverd_analyze_seconds_total{op=%q} %g\n", k, float64(os.Micros)/1e6)
-	}
-	return b.String()
-}
+type OperatorSnapshot = obs.OperatorSnapshot

@@ -25,7 +25,9 @@ import (
 // profiler.
 // EXPLAIN ANALYZE responses carry the per-operator tree (rows, wall time,
 // stage counters, abort reason) both rendered in Message and as the
-// structured Plan field.
+// structured Plan field. Every evaluated statement additionally carries
+// the server-assigned Response.QueryID, which joins the response to its
+// structured query-log record and its EXPLAIN ANALYZE trailer.
 
 // Request is one client → server message.
 type Request struct {
@@ -76,9 +78,16 @@ type Response struct {
 	// responses: per-operator rows, wall-time and stage counters under
 	// ANALYZE, plus the abort reason when a timeout interrupted the run.
 	// Message holds the same tree rendered as text.
-	Plan      *plan.Tree `json:"plan,omitempty"`
-	RowCount  int        `json:"row_count"`
-	ElapsedUS int64      `json:"elapsed_us"`
+	Plan     *plan.Tree `json:"plan,omitempty"`
+	RowCount int        `json:"row_count"`
+	// QueryID is the server-assigned monotonic per-process query identity
+	// for this statement (0 for server builtins like \metrics, which
+	// evaluate no statement). The same ID appears on the statement's
+	// structured query-log record and, for EXPLAIN ANALYZE, in the plan
+	// trailer — the join key between a slow-query log line, its ANALYZE
+	// tree and the latency histograms. tpcli prints it in verbose mode.
+	QueryID   uint64 `json:"query_id,omitempty"`
+	ElapsedUS int64  `json:"elapsed_us"`
 }
 
 // encodeResult converts a shell evaluation result into a Response body.

@@ -5,8 +5,16 @@
 // context cancellation and timeouts (which abort even the blocking
 // TA/PNJ/PTA strategies mid-Open), EXPLAIN /
 // EXPLAIN ANALYZE passthrough with the per-operator tree as structured
-// wire fields, and /metrics-style counters — including per-operator
-// ANALYZE aggregates — exposed through the \metrics builtin.
+// wire fields, and the observability layer (internal/obs): every
+// statement gets a monotonic per-process query ID echoed in
+// Response.QueryID, stamped on the EXPLAIN ANALYZE trailer and attached
+// to its structured query-log record, so an operator can join a
+// slow-query log line to its ANALYZE tree and its latency-histogram
+// bucket. Counters, per-strategy latency histograms and per-operator
+// ANALYZE aggregates are exposed through the \metrics builtin and —
+// identically, one render path — the HTTP admin endpoint (ServeAdmin:
+// GET /metrics, /healthz, /readyz and net/http/pprof under
+// /debug/pprof/).
 //
 // The wire protocol (proto.go) is newline-delimited JSON: one Request per
 // line in, one Response per line out, strictly in order per connection.
@@ -24,11 +32,11 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tpjoin/internal/catalog"
-	"tpjoin/internal/engine"
-	"tpjoin/internal/plan"
+	"tpjoin/internal/obs"
 	"tpjoin/internal/shell"
 )
 
@@ -43,13 +51,23 @@ type Config struct {
 	// Logf, when non-nil, receives one line per session open/close and
 	// per protocol error.
 	Logf func(format string, args ...any)
+	// QueryLog, when non-nil, receives one structured audit record per
+	// evaluated statement (query ID, session, statement, strategy, rows,
+	// latency, error class); records slower than its slow-query threshold
+	// log at WARN.
+	QueryLog *obs.QueryLog
 }
 
 // Server serves TP-SQL sessions over a shared catalog.
 type Server struct {
 	cat     *catalog.Catalog
 	cfg     Config
-	metrics Metrics
+	metrics *obs.Metrics
+
+	// nextQueryID hands out the monotonic per-process query identity
+	// attached to every evaluated statement (Response.QueryID, the query
+	// log, the EXPLAIN ANALYZE trailer).
+	nextQueryID atomic.Uint64
 
 	// baseCtx parents every per-query context; baseCancel fires on Close
 	// so shutdown interrupts in-flight queries at their next cancellation
@@ -60,6 +78,7 @@ type Server struct {
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
+	admin    *adminServer
 	shutdown bool
 
 	wg sync.WaitGroup
@@ -69,8 +88,8 @@ type Server struct {
 // callers typically preload it (shell.PreloadFig1a, \gen, \load).
 func New(cat *catalog.Catalog, cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{cat: cat, cfg: cfg, conns: make(map[net.Conn]struct{}),
-		baseCtx: ctx, baseCancel: cancel}
+	return &Server{cat: cat, cfg: cfg, metrics: obs.NewMetrics(),
+		conns: make(map[net.Conn]struct{}), baseCtx: ctx, baseCancel: cancel}
 }
 
 // Metrics returns a snapshot of the server counters.
@@ -111,10 +130,13 @@ func (s *Server) Serve(ln net.Listener) error {
 			if closed {
 				return nil
 			}
-			// Retry transient accept failures (fd exhaustion under load)
-			// with backoff, like net/http.Server — a busy moment must not
-			// stop the accept loop for good.
-			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+			// Retry transient accept failures (fd exhaustion under load,
+			// connections aborted in the backlog) with backoff, like
+			// net/http.Server — a busy moment must not stop the accept
+			// loop for good. The classification is explicit
+			// (isTransientAccept) rather than the deprecated
+			// net.Error.Temporary().
+			if isTransientAccept(err) {
 				if acceptDelay == 0 {
 					acceptDelay = 5 * time.Millisecond
 				} else if acceptDelay *= 2; acceptDelay > time.Second {
@@ -153,12 +175,14 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting, closes all live sessions and waits for their
-// goroutines to drain.
+// Close stops accepting (on both the query listener and the admin HTTP
+// endpoint), closes all live sessions and waits for their goroutines to
+// drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.shutdown = true
 	ln := s.ln
+	admin := s.admin
 	for c := range s.conns {
 		c.Close()
 	}
@@ -167,6 +191,9 @@ func (s *Server) Close() error {
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	if admin != nil {
+		admin.close()
 	}
 	s.wg.Wait()
 	return err
@@ -182,17 +209,17 @@ func (s *Server) logf(format string, args ...any) {
 // over the shared catalog, answering requests sequentially.
 func (s *Server) session(conn net.Conn) {
 	defer s.wg.Done()
+	remote := conn.RemoteAddr().String()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		s.metrics.sessionsActive.Add(-1)
-		s.logf("session %s closed", conn.RemoteAddr())
+		s.metrics.SessionClosed()
+		s.logf("session %s closed", remote)
 	}()
-	s.metrics.sessionsOpened.Add(1)
-	s.metrics.sessionsActive.Add(1)
-	s.logf("session %s opened", conn.RemoteAddr())
+	s.metrics.SessionOpened()
+	s.logf("session %s opened", remote)
 
 	core := shell.NewCore(s.cat)
 	dec := json.NewDecoder(conn)
@@ -210,7 +237,7 @@ func (s *Server) session(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.handle(core, &req)
+		resp := s.handle(core, &req, remote)
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}
@@ -220,69 +247,92 @@ func (s *Server) session(conn net.Conn) {
 	}
 }
 
-// handle evaluates one request on the session's core.
-func (s *Server) handle(core *shell.Core, req *Request) Response {
+// handle evaluates one request on the session's core: assigns the query
+// ID, runs the statement under its context, folds the outcome into the
+// metrics and the query log, and stamps the ID on the response (and on
+// the EXPLAIN ANALYZE trailer, re-rendered so the text and the
+// structured tree agree).
+func (s *Server) handle(core *shell.Core, req *Request, remote string) Response {
 	if resp, ok := s.builtin(req); ok {
 		return resp
 	}
+	qid := s.nextQueryID.Add(1)
 	ctx, cancel := s.queryContext(req)
 	defer cancel()
 	start := time.Now()
 	res, err := s.eval(core, ctx, req.Query)
 	elapsed := time.Since(start)
-	s.metrics.queriesServed.Add(1)
-	s.metrics.execMicros.Add(elapsed.Microseconds())
-	// Count cost-based strategy picks (SET strategy = auto) whenever the
-	// statement planned a TP join — SELECT, CREATE TABLE AS and EXPLAIN
-	// alike — feeding tpserverd_auto_strategy_total{strategy=...}.
-	if strat, auto, ok := core.Session.PlannedJoin(); ok && auto {
-		s.metrics.recordAutoPick(strat)
-	}
+
+	var resp Response
 	if err != nil {
-		s.metrics.queryErrors.Add(1)
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.metrics.queryTimeouts.Add(1)
+		resp = Response{ID: req.ID, Kind: KindNone, Error: err.Error(),
+			Usage: shell.IsUsageError(err)}
+	} else {
+		resp = encodeResult(res)
+		resp.ID = req.ID
+		if res.Plan != nil {
+			// Stamp the query ID on the plan tree; ANALYZE renders it in
+			// the trailer, so re-render the message to keep the text and
+			// the structured tree in agreement.
+			res.Plan.QueryID = qid
+			if res.Plan.Analyze {
+				resp.Message = res.Plan.Render()
+			}
 		}
-		return Response{ID: req.ID, Kind: KindNone, Error: err.Error(),
-			Usage: shell.IsUsageError(err), ElapsedUS: elapsed.Microseconds()}
 	}
-	resp := encodeResult(res)
-	resp.ID = req.ID
+	resp.QueryID = qid
 	resp.ElapsedUS = elapsed.Microseconds()
-	s.metrics.rowsReturned.Add(int64(resp.RowCount))
-	if resp.Plan != nil {
-		// EXPLAIN ANALYZE responses feed the per-operator counters that
-		// \metrics exposes (rows and wall time per operator kind).
-		s.metrics.recordAnalyze(resp.Plan)
-		// A timed-out ANALYZE is reported as a successful response with
-		// the abort reason in the tree; keep it visible in the timeout
-		// counter regardless, or the diagnostic queries users run when
-		// investigating slowness would vanish from the metric.
-		if resp.Plan.Abort != "" {
-			s.metrics.queryTimeouts.Add(1)
+
+	// One QueryOutcome feeds the counters and histograms; the accounting
+	// rules (per-strategy attribution, auto-pick tallies, ANALYZE
+	// aggregates, timeout classification) live in obs and are shared with
+	// the REPL surface.
+	strategy := obs.EffectiveStrategy(core.Session)
+	_, auto, planned := core.Session.PlannedJoin()
+	s.metrics.ObserveQuery(obs.QueryOutcome{
+		Strategy: strategy,
+		AutoPick: planned && auto,
+		RowsKind: resp.Kind == KindRows,
+		Rows:     resp.RowCount,
+		Elapsed:  elapsed,
+		Err:      err,
+		Plan:     resp.Plan,
+	})
+	if s.cfg.QueryLog != nil {
+		rec := obs.QueryRecord{
+			ID:        qid,
+			Session:   remote,
+			Statement: req.Query,
+			Strategy:  strategy.String(),
+			Auto:      planned && auto,
+			Rows:      resp.RowCount,
+			Elapsed:   elapsed,
+			ErrClass:  errClass(err),
 		}
-	}
-	if resp.Kind == KindRows {
-		// Attribute row-producing queries to the physical join strategy
-		// the planner gave them — the cost model's pick under auto, the
-		// forced SET strategy otherwise — so \metrics exposes per-strategy
-		// throughput (NJ vs TA vs PNJ); SET and backslash commands are not
-		// workload. Join-free queries fall back to the forced setting (or
-		// the nominal NJ default under auto): no join ran, but the rows
-		// still need a bucket.
-		s.metrics.recordQuery(effectiveStrategy(core.Session), resp.RowCount, elapsed.Microseconds())
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		s.cfg.QueryLog.Record(rec)
 	}
 	return resp
 }
 
-// effectiveStrategy resolves the strategy a just-executed statement should
-// be attributed to; see the recordQuery call site.
-func effectiveStrategy(sess *plan.Session) engine.Strategy {
-	if strat, _, ok := sess.PlannedJoin(); ok {
-		return strat
+// errClass maps an evaluation error to its query-log class.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case shell.IsUsageError(err):
+		return "usage"
+	case shell.IsPanicError(err):
+		return "panic"
+	default:
+		return "error"
 	}
-	strat, _ := sess.Strategy.Physical()
-	return strat
 }
 
 // eval runs one statement with panic containment: the engine panics on

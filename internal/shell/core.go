@@ -12,6 +12,7 @@ import (
 	"tpjoin/internal/dataset"
 	"tpjoin/internal/engine"
 	"tpjoin/internal/interval"
+	"tpjoin/internal/obs"
 	"tpjoin/internal/plan"
 	"tpjoin/internal/sql"
 	"tpjoin/internal/tp"
@@ -54,6 +55,12 @@ type Result struct {
 type Core struct {
 	Catalog *catalog.Catalog
 	Session *plan.Session
+	// Metrics, when non-nil, backs the \metrics builtin on this surface:
+	// the REPL wires a process-local collector here (Shell.Execute records
+	// every statement into it), while server sessions leave it nil — the
+	// server intercepts \metrics itself and renders its shared collector
+	// through the same obs Render path.
+	Metrics *obs.Metrics
 }
 
 // NewCore returns a session core over cat with default settings.
@@ -248,6 +255,13 @@ func (c *Core) command(line string) (Result, error) {
 			return Result{}, err
 		}
 		return Result{Kind: KindMessage, Text: c.Catalog.Stats(rel).Render(fields[1])}, nil
+	case `\metrics`:
+		// The same enriched snapshot and Render path as tpserverd's HTTP
+		// /metrics endpoint; on the REPL the collector is process-local.
+		if c.Metrics == nil {
+			return Result{}, usagef(`\metrics is not available on this surface`)
+		}
+		return Result{Kind: KindMessage, Text: c.Metrics.Snapshot().Render()}, nil
 	case `\help`, `\?`:
 		return Result{Kind: KindMessage, Text: helpText}, nil
 	default:

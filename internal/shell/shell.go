@@ -10,8 +10,10 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"tpjoin/internal/catalog"
+	"tpjoin/internal/obs"
 	"tpjoin/internal/plan"
 )
 
@@ -29,17 +31,24 @@ func (sh *Shell) Catalog() *catalog.Catalog { return sh.Core.Catalog }
 func (sh *Shell) Session() *plan.Session { return sh.Core.Session }
 
 // New returns a shell with the paper's example relations (Fig. 1a)
-// preloaded.
+// preloaded and a process-local metrics collector behind \metrics: the
+// REPL sees the same counters, latency histograms and runtime gauges for
+// its own statements that tpserverd exposes for its sessions, rendered
+// through the identical obs path.
 func New(out io.Writer) *Shell {
 	cat := catalog.New()
 	PreloadFig1a(cat)
-	return &Shell{Core: NewCore(cat), Out: out}
+	core := NewCore(cat)
+	core.Metrics = obs.NewMetrics()
+	return &Shell{Core: core, Out: out}
 }
 
 // Execute runs one input line (SQL statement or backslash command) and
 // reports whether the session should terminate.
 func (sh *Shell) Execute(line string) (quit bool) {
+	start := time.Now()
 	res, err := sh.Core.Eval(context.Background(), line)
+	sh.observe(res, err, time.Since(start))
 	if err != nil {
 		if IsUsageError(err) {
 			fmt.Fprintln(sh.Out, err.Error())
@@ -53,6 +62,29 @@ func (sh *Shell) Execute(line string) (quit bool) {
 	}
 	RenderResult(sh.Out, res)
 	return false
+}
+
+// observe folds one evaluated line into the REPL's local metrics
+// collector, with the same attribution rules (obs.QueryOutcome) the
+// server applies to its sessions.
+func (sh *Shell) observe(res Result, err error, elapsed time.Duration) {
+	m := sh.Core.Metrics
+	if m == nil {
+		return
+	}
+	_, auto, planned := sh.Core.Session.PlannedJoin()
+	o := obs.QueryOutcome{
+		Strategy: obs.EffectiveStrategy(sh.Core.Session),
+		AutoPick: planned && auto,
+		RowsKind: res.Kind == KindRows,
+		Elapsed:  elapsed,
+		Err:      err,
+		Plan:     res.Plan,
+	}
+	if o.RowsKind {
+		o.Rows = res.Rel.Len()
+	}
+	m.ObserveQuery(o)
 }
 
 const helpText = `statements:
@@ -89,5 +121,10 @@ commands:
   \saveb <name> <file>    save binary .tpr
   \gen webkit|meteo <n>   generate synthetic workload
   \drop <name>            remove a relation
+  \metrics                Prometheus-style counters, per-strategy latency
+                          histograms and runtime gauges — the REPL shows
+                          its own statements, tpserverd its sessions; the
+                          server also serves the same text on HTTP
+                          GET /metrics (-http)
   \q                      quit
 `
