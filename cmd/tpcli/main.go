@@ -2,7 +2,8 @@
 // shell (or one-shot query runner) against a running tpserverd. Results
 // render byte-identically to the in-process shell.
 //
-//	tpcli [-addr localhost:7654] [-timeout 0] [-v] [-e "SELECT ..."]
+//	tpcli [-addr localhost:7654] [-connect-timeout 5s] [-timeout 0] [-v]
+//	      [-e "SELECT ..."]
 //
 // With -e the single statement is executed and tpcli exits with a
 // non-zero status on error; otherwise a REPL starts. The whole dialect of
@@ -12,6 +13,13 @@
 // the same ID the server's structured query log and the EXPLAIN ANALYZE
 // trailer carry, so a slow statement seen here can be joined to its
 // server-side records.
+//
+// The connection is established within -connect-timeout, retrying with
+// jittered backoff (a server mid-restart is reachable as soon as it
+// listens). A statement the server sheds under overload (error class
+// "overloaded" — it never started executing, so the retry is safe) is
+// resent with backoff: up to the -timeout deadline when one is set,
+// otherwise a handful of attempts before giving up.
 package main
 
 import (
@@ -19,11 +27,42 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"os"
+	"time"
 
 	"tpjoin/internal/client"
 	"tpjoin/internal/server"
 )
+
+// queryRetry sends line, resending statements the server shed under
+// overload ("overloaded" responses never started executing, so the retry
+// is safe) with jittered exponential backoff. With a deadline on ctx it
+// keeps trying until the deadline; without one it gives up after a few
+// attempts — an interactive user should see the overload, not hang on it.
+func queryRetry(ctx context.Context, c *client.Client, line string) (*server.Response, error) {
+	const maxAttempts = 5
+	backoff := 100 * time.Millisecond
+	_, bounded := ctx.Deadline()
+	for attempt := 1; ; attempt++ {
+		resp, err := c.Query(ctx, line)
+		if !client.IsOverloaded(err) {
+			return resp, err
+		}
+		if !bounded && attempt >= maxAttempts {
+			return resp, err
+		}
+		sleep := backoff/2 + rand.N(backoff/2+1)
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return resp, err
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
 
 // verboseTrailer prints the -v line: the server-assigned query ID and the
 // server-measured wall time, on stderr so piped query output stays clean.
@@ -37,14 +76,17 @@ func verboseTrailer(on bool, resp *server.Response) {
 
 func main() {
 	var (
-		addr    = flag.String("addr", "localhost:7654", "tpserverd address")
-		timeout = flag.Duration("timeout", 0, "per-query client deadline (0 = none)")
-		oneShot = flag.String("e", "", "execute one statement and exit")
-		verbose = flag.Bool("v", false, "print the server-assigned query ID and wall time after each response (stderr)")
+		addr        = flag.String("addr", "localhost:7654", "tpserverd address")
+		connTimeout = flag.Duration("connect-timeout", 5*time.Second, "connection-establishment budget (dial retries with backoff within it)")
+		timeout     = flag.Duration("timeout", 0, "per-query client deadline (0 = none)")
+		oneShot     = flag.String("e", "", "execute one statement and exit")
+		verbose     = flag.Bool("v", false, "print the server-assigned query ID and wall time after each response (stderr)")
 	)
 	flag.Parse()
 
-	c, err := client.Dial(*addr)
+	dialCtx, dialCancel := context.WithTimeout(context.Background(), *connTimeout)
+	c, err := client.DialContext(dialCtx, *addr)
+	dialCancel()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tpcli:", err)
 		os.Exit(1)
@@ -58,7 +100,7 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
-		resp, err := c.Query(ctx, line)
+		resp, err := queryRetry(ctx, c, line)
 		if err != nil {
 			if se, ok := err.(*client.ServerError); ok {
 				if se.Usage {

@@ -5,6 +5,8 @@
 //
 //	tpserverd [-addr localhost:7654] [-http ""] [-timeout 30s]
 //	          [-max-timeout 5m] [-slow-query 1s]
+//	          [-max-inflight 0] [-queue-depth 0] [-queue-wait 1s]
+//	          [-memory-budget 0] [-drain-timeout 30s]
 //	          [-gen webkit:1000] [-gen meteo:1000] [-no-preload] [-quiet]
 //
 // The default bind is loopback-only: the dialect includes \load, \save,
@@ -34,12 +36,27 @@
 // the query ran longer than -slow-query (or failed), at INFO otherwise;
 // -quiet suppresses both the session log and the audit log.
 //
+// Resilience: -max-inflight bounds concurrent query execution with a
+// semaphore plus a bounded wait queue (-queue-depth seats, -queue-wait
+// per-statement budget); statements the gate sheds are rejected before
+// planning with the retryable error class "overloaded", and /readyz
+// degrades to 503 while the queue is saturated. -memory-budget caps each
+// query's estimated working memory (overridable per session with
+// `SET memory_budget = 64mb|off`); a query that exceeds it aborts with
+// error class "budget" while the server keeps serving. The first SIGTERM
+// or SIGINT drains gracefully — the listener closes, /readyz flips to
+// 503, in-flight statements finish up to -drain-timeout — and a second
+// signal (or the timeout) forces immediate cancellation. The TPFAULT
+// environment variable arms chaos-testing failpoints (see internal/fault;
+// e.g. TPFAULT='server.accept=error' — never set it in production).
+//
 // By default the paper's Fig. 1a relations a and b are preloaded; -gen
 // additionally registers synthetic workloads under w_r/w_s (webkit) and
 // m_r/m_s (meteo). Connect with cmd/tpcli or the internal/client library.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -54,7 +71,9 @@ import (
 
 	"tpjoin/internal/catalog"
 	"tpjoin/internal/dataset"
+	"tpjoin/internal/fault"
 	"tpjoin/internal/obs"
+	"tpjoin/internal/plan"
 	"tpjoin/internal/server"
 	"tpjoin/internal/shell"
 	"tpjoin/internal/tp"
@@ -74,7 +93,13 @@ func main() {
 		slowQuery  = flag.Duration("slow-query", time.Second, "promote audit-log records of queries at least this slow to WARN (0 = never)")
 		noPreload  = flag.Bool("no-preload", false, "skip preloading the paper's Fig. 1a relations")
 		quiet      = flag.Bool("quiet", false, "suppress per-session logging and the structured query log")
-		gens       genFlags
+
+		maxInflight  = flag.Int("max-inflight", 0, "admission control: max concurrently executing statements (0 = unlimited)")
+		queueDepth   = flag.Int("queue-depth", 0, "admission control: statements allowed to wait for a slot before rejection")
+		queueWait    = flag.Duration("queue-wait", time.Second, "admission control: max time a queued statement waits for a slot")
+		memBudget    = flag.String("memory-budget", "", "default per-query memory budget, e.g. 256mb (empty = unlimited; sessions override with SET memory_budget)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget: how long the first SIGTERM lets in-flight statements finish")
+		gens         genFlags
 	)
 	flag.Var(&gens, "gen", "preload a synthetic workload, e.g. webkit:1000 or meteo:500 (repeatable)")
 	flag.Parse()
@@ -89,7 +114,27 @@ func main() {
 		}
 	}
 
-	cfg := server.Config{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout}
+	cfg := server.Config{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxInflight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		QueueWait:      *queueWait,
+	}
+	if *memBudget != "" {
+		b, err := plan.ParseByteSize(*memBudget)
+		if err != nil {
+			log.Fatalf("tpserverd: -memory-budget %s: want a positive byte count (kb/mb/gb suffixes ok)", *memBudget)
+		}
+		cfg.MemoryBudget = b
+	}
+	if spec := os.Getenv("TPFAULT"); spec != "" {
+		// Chaos-testing failpoints; a typo in a point name arms nothing.
+		if err := fault.Arm(spec); err != nil {
+			log.Fatalf("tpserverd: TPFAULT: %v", err)
+		}
+		log.Printf("tpserverd: TPFAULT armed: %s", spec)
+	}
 	if !*quiet {
 		cfg.Logf = log.New(os.Stderr, "tpserverd: ", log.LstdFlags).Printf
 		// The structured query/audit log: one JSON record per statement
@@ -99,12 +144,27 @@ func main() {
 	}
 	srv := server.New(cat, cfg)
 
-	sig := make(chan os.Signal, 1)
+	// Two-stage shutdown: the first signal drains gracefully (stop
+	// accepting, let in-flight statements finish up to -drain-timeout),
+	// a second signal — or the drain budget expiring — forces the PR 3
+	// cancellation path immediately.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
 	go func() {
 		<-sig
-		log.Println("tpserverd: shutting down")
-		srv.Close()
+		log.Printf("tpserverd: draining (up to %v; signal again to force)", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		go func() {
+			<-sig
+			log.Println("tpserverd: forcing shutdown")
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("tpserverd: drain: %v", err)
+		}
+		close(drained)
 	}()
 
 	if *httpAddr != "" {
@@ -126,6 +186,11 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil {
 		log.Fatalf("tpserverd: %v", err)
 	}
+	// Serve returns nil as soon as draining starts; exiting then would
+	// cut the very statements the drain exists to finish. Hold the
+	// process open until Shutdown (or its forced fallback) completes.
+	<-drained
+	log.Println("tpserverd: shut down")
 }
 
 // preloadWorkload parses "<workload>:<n>" and registers the generated

@@ -59,9 +59,11 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"unsafe"
 
 	"tpjoin/internal/interval"
 	"tpjoin/internal/lineage"
+	"tpjoin/internal/mem"
 	"tpjoin/internal/prob"
 	"tpjoin/internal/tp"
 )
@@ -259,6 +261,7 @@ func (ix *indexedAligner) build(ctx context.Context) error {
 	}
 	groups := ix.groups.Groups()
 	ix.gmeta = slices.Grow(ix.gmeta, len(groups))
+	gauge := mem.FromContext(ctx)
 	work := 0
 	for gi := range groups {
 		vals := groups[gi].Vals
@@ -320,7 +323,12 @@ func (ix *indexedAligner) build(ctx context.Context) error {
 		// in ascending tuple order keeps every segment's cover sorted —
 		// the order the scalar reference's candidate scan produces. The
 		// arena extension needs no zeroing: the cursors write every slot
-		// of the new span exactly once.
+		// of the new span exactly once. The growth is the aligner's
+		// dominant allocation (quadratic on skewed keys), so it is where
+		// the per-query memory budget bites first.
+		if err := gauge.Charge(int64(int(off)-len(ix.cover)) * int64(unsafe.Sizeof(ix.cover[0]))); err != nil {
+			return err
+		}
 		ix.cover = slices.Grow(ix.cover, int(off)-len(ix.cover))[:off]
 		for _, si := range vals {
 			t := ix.s.Tuples[si].T
@@ -636,6 +644,13 @@ func presizeRows(ctx context.Context, al aligner, r *tp.Relation) ([]row, error)
 	const maxPresize = 1 << 20
 	if n > maxPresize {
 		n = maxPresize
+	}
+	// The presized buffer is the TA baseline's big result-side allocation;
+	// charge it against the query's memory budget before committing to it.
+	// (Growth past the presize clamp tracks the final result cardinality,
+	// which the result-drain checkpoints charge tuple-wise.)
+	if err := mem.FromContext(ctx).Charge(int64(n) * int64(unsafe.Sizeof(row{}))); err != nil {
+		return nil, err
 	}
 	return make([]row, 0, n), nil
 }

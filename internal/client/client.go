@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -41,13 +42,47 @@ type Client struct {
 	broken error
 }
 
-// Dial connects to a tpserverd at addr (host:port).
+// Dial connects to a tpserverd at addr (host:port) with one attempt and
+// no timeout. Prefer DialContext for anything beyond a local smoke test.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	return NewClient(conn), nil
+}
+
+// DialContext connects to a tpserverd at addr, retrying failed dial
+// attempts with jittered exponential backoff (50ms doubling to a 2s cap)
+// until ctx expires. The ctx deadline doubles as the per-attempt connect
+// timeout, so a black-holed address cannot outlive the caller's budget.
+// With no deadline it retries until the server appears or ctx is
+// canceled — the "wait for the server to come up" loop a restart-drain
+// window needs.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	backoff := 50 * time.Millisecond
+	for {
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return NewClient(conn), nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: dial %s: %w (last attempt: %v)", addr, ctx.Err(), err)
+		}
+		// Full backoff/2 base plus up to backoff/2 of jitter: a fleet of
+		// clients re-dialing a restarted server spreads out instead of
+		// stampeding in lockstep.
+		sleep := backoff/2 + rand.N(backoff/2+1)
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: dial %s: %w (last attempt: %v)", addr, ctx.Err(), err)
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
 }
 
 // NewClient wraps an established connection (useful for tests and custom
@@ -86,7 +121,19 @@ func (c *Client) Query(ctx context.Context, query string) (*server.Response, err
 		if err := c.conn.SetDeadline(dl); err != nil {
 			return nil, err
 		}
-		defer c.conn.SetDeadline(time.Time{})
+		defer func() {
+			// Once the session is poisoned the connection deadline must
+			// stay in place: clearing it would let a later misuse block
+			// forever on the dead stream, and a reset failure here must
+			// not overwrite the original transport error — annotate the
+			// poison instead.
+			if c.broken != nil {
+				return
+			}
+			if err := c.conn.SetDeadline(time.Time{}); err != nil {
+				c.broken = fmt.Errorf("clearing connection deadline: %w", err)
+			}
+		}()
 		exec := time.Until(dl) - timeoutSlack
 		if min := time.Until(dl) / 2; exec < min {
 			exec = min
@@ -120,7 +167,7 @@ func (c *Client) Query(ctx context.Context, query string) (*server.Response, err
 		return nil, fmt.Errorf("client: %w", c.broken)
 	}
 	if resp.Error != "" {
-		return &resp, &ServerError{Msg: resp.Error, Usage: resp.Usage}
+		return &resp, &ServerError{Msg: resp.Error, Usage: resp.Usage, ErrClass: resp.ErrClass}
 	}
 	return &resp, nil
 }
@@ -128,13 +175,25 @@ func (c *Client) Query(ctx context.Context, query string) (*server.Response, err
 // ServerError is a query-level failure reported by the server (parse
 // error, unknown relation, execution timeout, ...). The session remains
 // usable after it. Usage marks usage lines and unknown-command notices,
-// which the REPL renders verbatim without an "error:" prefix.
+// which the REPL renders verbatim without an "error:" prefix. ErrClass
+// carries the server's failure classification (see server.Response);
+// "overloaded" means the statement was shed before planning and is safe
+// to retry — IsOverloaded checks for it.
 type ServerError struct {
-	Msg   string
-	Usage bool
+	Msg      string
+	Usage    bool
+	ErrClass string
 }
 
 func (e *ServerError) Error() string { return e.Msg }
+
+// IsOverloaded reports whether err is a server admission-control
+// rejection: the statement never started executing, so retrying it (with
+// backoff) is safe even for non-idempotent statements.
+func IsOverloaded(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.ErrClass == "overloaded"
+}
 
 // Render writes resp to w exactly as the in-process shell would render
 // the same statement.

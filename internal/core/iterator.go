@@ -23,7 +23,9 @@ package core
 
 import (
 	"sync"
+	"unsafe"
 
+	"tpjoin/internal/tp"
 	"tpjoin/internal/window"
 )
 
@@ -59,6 +61,24 @@ var batchPool = sync.Pool{
 		s := make([]window.Window, BatchSize)
 		return &s
 	},
+}
+
+// PipelineBytes reports the pooled window-buffer bytes a join stream over
+// op checks out of the batch pool: one BatchSize transfer buffer for the
+// stream itself plus, on the negating operators, one input buffer each
+// for LAWAU and LAWAN (two pipelines for FULL, which runs a mirror
+// phase). The buffers are checked out lazily and returned to the pool on
+// exhaustion, but budget-wise the query owns them for its lifetime, so a
+// per-query memory gauge charges this amount at stream construction.
+func PipelineBytes(op tp.Op) int64 {
+	stages := 1
+	switch op {
+	case tp.OpAnti, tp.OpLeft, tp.OpRight:
+		stages = 3
+	case tp.OpFull:
+		stages = 5
+	}
+	return int64(stages) * BatchSize * int64(unsafe.Sizeof(window.Window{}))
 }
 
 func getBatchBuf() *[]window.Window { return batchPool.Get().(*[]window.Window) }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"tpjoin/internal/lineage"
+	"tpjoin/internal/mem"
 	"tpjoin/internal/prob"
 	"tpjoin/internal/tp"
 	"tpjoin/internal/window"
@@ -138,18 +139,32 @@ func joinWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs
 // ctx every cancelCheck tuples (trivial for the Background context, so
 // the uncancellable callers above pay nothing measurable). It is the
 // single drain loop shared by the sequential joins and the PNJ partition
-// workers; a non-nil st additionally accounts the produced tuples.
+// workers; a non-nil st additionally accounts the produced tuples. A
+// memory budget on ctx (mem.WithGauge) is charged for the pooled pipeline
+// buffers up front and for the materialized tuples at every checkpoint —
+// the PNJ partition workers all charge the one per-query gauge, so the
+// whole parallel join shares one budget.
 func drainJoinCtx(ctx context.Context, op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob.Probs, batch bool, st *ParallelStats) (*tp.Relation, error) {
+	gauge := mem.FromContext(ctx)
+	if err := gauge.Charge(PipelineBytes(op)); err != nil {
+		return nil, err
+	}
 	it, attrs := joinStreamWithProbs(op, r, s, theta, probs, batch, nil)
 	out := &tp.Relation{
 		Name:  fmt.Sprintf("%s_%s_%s", r.Name, opTag(op), s.Name),
 		Attrs: attrs,
 		Probs: probs,
 	}
+	perCheck := cancelCheck * mem.TupleBytes(len(attrs))
 	for n := 0; ; n++ {
 		if n%cancelCheck == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			if n > 0 {
+				if err := gauge.Charge(perCheck); err != nil {
+					return nil, err
+				}
 			}
 		}
 		t, ok := it.Next()

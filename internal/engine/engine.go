@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 
+	"tpjoin/internal/mem"
 	"tpjoin/internal/prob"
 	"tpjoin/internal/tp"
 )
@@ -67,7 +68,10 @@ const cancelCheckInterval = 256
 // Opens (ctx is bound over the tree first, so the TA baseline checks it
 // between alignment batches and the PNJ partition workers between
 // partitions — see ContextBinder), and then every cancelCheckInterval
-// tuples while draining.
+// tuples while draining. A memory budget on ctx (mem.WithGauge) is
+// charged for the materialized result at the same checkpoints, so a
+// runaway result set aborts with a budget error as promptly as a timeout
+// would fire.
 func RunContext(ctx context.Context, op Operator, name string) (*tp.Relation, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -82,10 +86,17 @@ func RunContext(ctx context.Context, op Operator, name string) (*tp.Relation, er
 		Attrs: append([]string(nil), op.Attrs()...),
 		Probs: op.Probs(),
 	}
+	gauge := mem.FromContext(ctx)
+	perCheck := cancelCheckInterval * mem.TupleBytes(len(out.Attrs))
 	for n := 0; ; n++ {
 		if n%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			if n > 0 {
+				if err := gauge.Charge(perCheck); err != nil {
+					return nil, err
+				}
 			}
 		}
 		t, ok, err := op.Next()

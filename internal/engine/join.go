@@ -6,6 +6,7 @@ import (
 
 	"tpjoin/internal/align"
 	"tpjoin/internal/core"
+	"tpjoin/internal/mem"
 	"tpjoin/internal/prob"
 	"tpjoin/internal/tp"
 )
@@ -179,6 +180,12 @@ func (j *TPJoin) Open() error {
 	j.probs = tp.MergeProbs(r, s)
 	switch j.strategy {
 	case StrategyNJ:
+		// The NJ stream's pooled batch buffers are the strategy's only
+		// allocation beyond the result drain (which RunContext charges);
+		// budget them up front at checkout size.
+		if err := mem.FromContext(ctx).Charge(core.PipelineBytes(j.op)); err != nil {
+			return err
+		}
 		if j.instr {
 			j.stream, _, j.njInstr = core.JoinStreamInstrumented(j.op, r, s, j.theta)
 		} else {
@@ -324,10 +331,17 @@ func childRelation(ctx context.Context, op Operator, tag string) (*tp.Relation, 
 		Probs:     op.Probs(),
 		Transient: true,
 	}
+	gauge := mem.FromContext(ctx)
+	perCheck := cancelCheckInterval * mem.TupleBytes(len(out.Attrs))
 	for n := 0; ; n++ {
 		if n%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			if n > 0 {
+				if err := gauge.Charge(perCheck); err != nil {
+					return nil, err
+				}
 			}
 		}
 		t, ok, err := op.Next()

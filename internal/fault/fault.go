@@ -1,0 +1,137 @@
+// Package fault is a tiny failpoint registry for chaos testing the
+// server tier: named injection points compiled into production code paths
+// (the accept loop, the wire encoder/decoder, the session goroutine, the
+// parallel worker pool) that do nothing until a test — or the TPFAULT
+// environment variable — arms them.
+//
+// The disarmed fast path is one atomic load and a branch, so leaving the
+// hooks compiled into release binaries costs nothing measurable; there is
+// no build tag to forget. Armed behaviors either return an error (the
+// injection point surfaces it through its normal error handling) or panic
+// (exercising the containment layers: par.Run's worker recovery,
+// shell.Core.Eval's panic-to-error conversion, the server's session
+// recover).
+package fault
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// armedCount is the number of registered failpoints. Inject's fast path
+// loads it once and returns when zero — the production state.
+var armedCount atomic.Int32
+
+var (
+	mu     sync.RWMutex
+	points = map[string]func() error{}
+)
+
+// Inject fires the failpoint name if one is armed: it returns the
+// injected error (or panics, for a panic-mode failpoint). With nothing
+// armed — the production state — it is a single atomic load.
+func Inject(name string) error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	mu.RLock()
+	f := points[name]
+	mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f()
+}
+
+// Set arms the failpoint name with behavior f, replacing any previous
+// behavior. f may return an error, panic, block (a test-controlled
+// barrier), or return nil to observe the hook without failing it.
+func Set(name string, f func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		armedCount.Add(1)
+	}
+	points[name] = f
+}
+
+// Clear disarms the failpoint name.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armedCount.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint (test cleanup).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	clear(points)
+	armedCount.Store(0)
+}
+
+// Errorf returns a behavior that always fails with the formatted error.
+func Errorf(format string, args ...any) func() error {
+	err := fmt.Errorf(format, args...)
+	return func() error { return err }
+}
+
+// Panicf returns a behavior that always panics with the formatted
+// message, for driving the panic-containment paths.
+func Panicf(format string, args ...any) func() error {
+	msg := fmt.Sprintf(format, args...)
+	return func() error { panic("fault: " + msg) }
+}
+
+// Times limits f to its first n firings; afterwards the failpoint is a
+// no-op. The counter is atomic, so concurrent injection points (accept
+// loop vs sessions) share the quota exactly.
+func Times(n int64, f func() error) func() error {
+	var fired atomic.Int64
+	return func() error {
+		if fired.Add(1) > n {
+			return nil
+		}
+		return f()
+	}
+}
+
+// Arm parses and registers an environment-style failpoint spec:
+// semicolon-separated entries of the form
+//
+//	<point>=error[:message]
+//	<point>=panic[:message]
+//
+// e.g. TPFAULT='server.accept=error:injected;par.worker=panic'. Unknown
+// modes are an error; point names are not validated (a typo arms a
+// failpoint nothing fires, which Inject treats as disarmed).
+func Arm(spec string) error {
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, behavior, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("fault: bad spec entry %q (want <point>=<mode>[:message])", entry)
+		}
+		mode, msg, _ := strings.Cut(behavior, ":")
+		if msg == "" {
+			msg = "injected fault at " + name
+		}
+		switch mode {
+		case "error":
+			Set(name, Errorf("%s", msg))
+		case "panic":
+			Set(name, Panicf("%s", msg))
+		default:
+			return fmt.Errorf("fault: unknown mode %q in %q (want error or panic)", mode, entry)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Inject("anything"); err != nil {
+		t.Fatalf("disarmed Inject: %v", err)
+	}
+}
+
+func TestSetClearReset(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", Errorf("boom"))
+	if err := Inject("p"); err == nil || err.Error() != "boom" {
+		t.Fatalf("armed Inject = %v, want boom", err)
+	}
+	if err := Inject("other"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	Clear("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+	Set("a", Errorf("x"))
+	Set("b", Errorf("y"))
+	Reset()
+	if err := Inject("a"); err != nil {
+		t.Fatalf("Reset left a armed: %v", err)
+	}
+	if err := Inject("b"); err != nil {
+		t.Fatalf("Reset left b armed: %v", err)
+	}
+}
+
+func TestPanicf(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", Panicf("kaboom"))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic-mode failpoint did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "kaboom") {
+			t.Fatalf("panic value = %v", r)
+		}
+	}()
+	Inject("p")
+}
+
+func TestTimes(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", Times(3, Errorf("boom")))
+	var fired int
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if Inject("p") != nil {
+				mu.Lock()
+				fired++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 3 {
+		t.Fatalf("Times(3) fired %d times", fired)
+	}
+}
+
+func TestArm(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("server.accept=error:injected accept; par.worker=panic"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("server.accept"); err == nil || err.Error() != "injected accept" {
+		t.Fatalf("server.accept = %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("par.worker should panic")
+			}
+		}()
+		Inject("par.worker")
+	}()
+	if err := Arm("bad"); err == nil {
+		t.Fatal("entry without '=' must be rejected")
+	}
+	if err := Arm("p=explode"); err == nil {
+		t.Fatal("unknown mode must be rejected")
+	}
+}

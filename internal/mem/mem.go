@@ -1,0 +1,117 @@
+// Package mem implements per-query memory budgets: a Gauge threaded
+// through the query context and charged at the executor's allocation
+// choke points (the core batch-buffer pipeline, the alignment cover
+// arena, result-buffer presizing and the materializing drain loops), so
+// one runaway statement aborts with a budget error instead of OOMing the
+// shared server process.
+//
+// The accounting is deliberately an estimate, not byte-exact allocator
+// metering: the charge points piggyback on the existing cooperative
+// cancellation checkpoints, so a budget overrun is detected within one
+// checkpoint interval of the allocation that caused it — the same
+// promptness contract the per-query timeout already has. The budget's job
+// is to stop queries whose working set is orders of magnitude out of
+// bounds, not to arbitrate the last kilobyte.
+package mem
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Gauge tracks one query's estimated retained bytes against a fixed
+// limit. All methods are safe on a nil receiver (a nil gauge is an
+// unlimited budget) and for concurrent use — the parallel executors'
+// partition workers charge the same gauge.
+type Gauge struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewGauge returns a gauge with the given byte limit. A non-positive
+// limit returns nil: no gauge, no accounting, unlimited.
+func NewGauge(limit int64) *Gauge {
+	if limit <= 0 {
+		return nil
+	}
+	return &Gauge{limit: limit}
+}
+
+// Charge adds n estimated bytes and fails with a *BudgetError once the
+// total exceeds the limit. The overrunning charge stays counted — the
+// query is aborting, and keeping the total monotonic means every
+// concurrent worker of the same query fails its next checkpoint too
+// instead of racing the rollback.
+func (g *Gauge) Charge(n int64) error {
+	if g == nil || n <= 0 {
+		return nil
+	}
+	if used := g.used.Add(n); used > g.limit {
+		return &BudgetError{Limit: g.limit, Used: used}
+	}
+	return nil
+}
+
+// Used returns the estimated bytes charged so far.
+func (g *Gauge) Used() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.used.Load()
+}
+
+// Limit returns the byte limit (0 for a nil gauge).
+func (g *Gauge) Limit() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.limit
+}
+
+// BudgetError reports a query that charged past its memory budget.
+type BudgetError struct {
+	Limit int64 // the configured budget, bytes
+	Used  int64 // estimated bytes at the failing charge
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("memory budget exceeded: query needs over %d bytes of an estimated %d-byte budget (raise SET memory_budget, or SET memory_budget = off)",
+		e.Used, e.Limit)
+}
+
+// IsBudget reports whether err is (or wraps) a budget overrun.
+func IsBudget(err error) bool {
+	var b *BudgetError
+	return errors.As(err, &b)
+}
+
+// ctxKey is the context key carrying the query's gauge.
+type ctxKey struct{}
+
+// WithGauge attaches g to ctx. Attaching nil is a no-op (the returned
+// context reports no gauge), so callers can thread an optional budget
+// without branching.
+func WithGauge(ctx context.Context, g *Gauge) context.Context {
+	if g == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, g)
+}
+
+// FromContext returns the query's gauge, or nil when the query runs
+// without a budget.
+func FromContext(ctx context.Context) *Gauge {
+	g, _ := ctx.Value(ctxKey{}).(*Gauge)
+	return g
+}
+
+// TupleBytes estimates the retained bytes of one materialized output
+// tuple with the given fact arity: the tuple header (fact slice header,
+// lineage pointer, interval, probability) plus one interned value per
+// fact column. Charge points over tuple drains multiply this by their
+// checkpoint interval.
+func TupleBytes(arity int) int64 {
+	return 96 + 24*int64(arity)
+}

@@ -1,0 +1,92 @@
+package mem
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGaugeCharge(t *testing.T) {
+	g := NewGauge(1000)
+	if err := g.Charge(600); err != nil {
+		t.Fatalf("first charge: %v", err)
+	}
+	if err := g.Charge(400); err != nil {
+		t.Fatalf("charge to exactly the limit must pass: %v", err)
+	}
+	err := g.Charge(1)
+	if err == nil {
+		t.Fatal("charge past the limit must fail")
+	}
+	if !IsBudget(err) {
+		t.Fatalf("want a budget error, got %T: %v", err, err)
+	}
+	// The overrun stays counted: every later charge fails too.
+	if err := g.Charge(1); err == nil {
+		t.Fatal("charges after an overrun must keep failing")
+	}
+	if g.Used() <= g.Limit() {
+		t.Fatalf("used %d must exceed limit %d after overrun", g.Used(), g.Limit())
+	}
+}
+
+func TestGaugeNilSafe(t *testing.T) {
+	var g *Gauge
+	if err := g.Charge(1 << 40); err != nil {
+		t.Fatalf("nil gauge must be unlimited: %v", err)
+	}
+	if g.Used() != 0 || g.Limit() != 0 {
+		t.Fatal("nil gauge reports zero usage and limit")
+	}
+	if NewGauge(0) != nil || NewGauge(-1) != nil {
+		t.Fatal("non-positive limits mean no gauge")
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	g := NewGauge(1 << 40)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := g.Charge(3); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Used(); got != 8*1000*3 {
+		t.Fatalf("used = %d, want %d", got, 8*1000*3)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil {
+		t.Fatal("background context carries no gauge")
+	}
+	if got := WithGauge(ctx, nil); FromContext(got) != nil {
+		t.Fatal("attaching a nil gauge attaches nothing")
+	}
+	g := NewGauge(42)
+	if got := FromContext(WithGauge(ctx, g)); got != g {
+		t.Fatalf("FromContext = %p, want %p", got, g)
+	}
+}
+
+func TestBudgetErrorWrapped(t *testing.T) {
+	g := NewGauge(1)
+	err := g.Charge(2)
+	wrapped := fmt.Errorf("align: %w", err)
+	if !IsBudget(wrapped) {
+		t.Fatal("IsBudget must see through wrapping")
+	}
+	if IsBudget(fmt.Errorf("plain")) {
+		t.Fatal("IsBudget on a plain error")
+	}
+}

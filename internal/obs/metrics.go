@@ -51,6 +51,17 @@ type Metrics struct {
 	// seconds from another) under concurrent sessions.
 	lastQuery atomic.Pointer[lastQuerySample]
 
+	// Admission-control accounting: every statement that reaches the
+	// admission gate is either admitted (queued counts the subset that
+	// waited for a slot first) or rejected as overloaded; queueWait
+	// buckets the time spent at the gate either way, and admInflight
+	// gauges the statements currently holding a slot.
+	admAdmitted atomic.Int64
+	admQueued   atomic.Int64
+	admRejected atomic.Int64
+	admInflight atomic.Int64
+	queueWait   *Histogram
+
 	perStrategy [strategyCount]strategyMetrics
 
 	// latency buckets every attributed query's wall time per strategy
@@ -77,7 +88,8 @@ type Metrics struct {
 // NewMetrics returns a collector with the standard bucket schemes,
 // anchored at the current time for the uptime gauge.
 func NewMetrics() *Metrics {
-	m := &Metrics{start: time.Now(), queryRows: NewHistogram(RowBounds())}
+	m := &Metrics{start: time.Now(), queryRows: NewHistogram(RowBounds()),
+		queueWait: NewHistogram(LatencyBounds())}
 	for i := range m.latency {
 		m.latency[i] = NewHistogram(LatencyBounds())
 	}
@@ -109,6 +121,31 @@ func (m *Metrics) SessionOpened() {
 
 // SessionClosed decrements the active-session gauge.
 func (m *Metrics) SessionClosed() { m.sessionsActive.Add(-1) }
+
+// AdmissionAdmitted counts one statement admitted through the gate:
+// queued marks that it waited for a slot first, wait is the time it spent
+// waiting (zero for an immediate grant — recorded in the histogram
+// regardless, so the queue-wait distribution reflects every admitted
+// statement, not only the unlucky ones). Pair with AdmissionReleased when
+// the statement finishes.
+func (m *Metrics) AdmissionAdmitted(queued bool, wait time.Duration) {
+	m.admAdmitted.Add(1)
+	if queued {
+		m.admQueued.Add(1)
+	}
+	m.admInflight.Add(1)
+	m.queueWait.Observe(wait.Seconds())
+}
+
+// AdmissionReleased returns one admitted statement's slot to the gauge.
+func (m *Metrics) AdmissionReleased() { m.admInflight.Add(-1) }
+
+// AdmissionRejected counts one statement rejected as overloaded (queue
+// full or queue wait expired) after waiting for the given time.
+func (m *Metrics) AdmissionRejected(wait time.Duration) {
+	m.admRejected.Add(1)
+	m.queueWait.Observe(wait.Seconds())
+}
 
 // QueryOutcome describes one evaluated statement for accounting: the
 // strategy it is attributed to, whether the cost-based picker chose it,
@@ -237,6 +274,12 @@ type MetricsSnapshot struct {
 	RowsReturned   int64
 	ExecMicros     int64
 
+	AdmissionAdmitted int64
+	AdmissionQueued   int64
+	AdmissionRejected int64
+	AdmissionInflight int64
+	QueueWait         HistogramSnapshot
+
 	LastQueryMicros int64
 	LastQueryRows   int64
 
@@ -280,6 +323,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		UptimeSeconds:  time.Since(m.start).Seconds(),
 		Goroutines:     int64(runtime.NumGoroutine()),
 		QueryRows:      m.queryRows.Snapshot(),
+
+		AdmissionAdmitted: m.admAdmitted.Load(),
+		AdmissionQueued:   m.admQueued.Load(),
+		AdmissionRejected: m.admRejected.Load(),
+		AdmissionInflight: m.admInflight.Load(),
+		QueueWait:         m.queueWait.Snapshot(),
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -349,6 +398,12 @@ func (s MetricsSnapshot) Render() string {
 	counter("tpserverd_query_timeouts_total", "Statements aborted by deadline or cancellation.", fmt.Sprint(s.QueryTimeouts))
 	counter("tpserverd_rows_returned_total", "Result rows returned to clients.", fmt.Sprint(s.RowsReturned))
 	counter("tpserverd_exec_seconds_total", "Total statement execution wall time.", fnum(float64(s.ExecMicros)/1e6))
+	counter("tpserverd_admission_admitted_total", "Statements granted a query slot by admission control.", fmt.Sprint(s.AdmissionAdmitted))
+	counter("tpserverd_admission_queued_total", "Admitted statements that waited in the admission queue first.", fmt.Sprint(s.AdmissionQueued))
+	counter("tpserverd_admission_rejected_total", "Statements rejected as overloaded (admission queue full or wait expired).", fmt.Sprint(s.AdmissionRejected))
+	gauge("tpserverd_admission_inflight", "Statements currently holding a query slot.", fmt.Sprint(s.AdmissionInflight))
+	family(&b, "tpserverd_admission_queue_wait_seconds", "histogram", "Time statements spent at the admission gate before a slot grant or rejection.")
+	renderHistogram(&b, "tpserverd_admission_queue_wait_seconds", "", s.QueueWait)
 	gauge("tpserverd_last_query_seconds", "Wall time of the most recent row-producing query.", fnum(float64(s.LastQueryMicros)/1e6))
 	gauge("tpserverd_last_query_rows", "Row count of the most recent row-producing query.", fmt.Sprint(s.LastQueryRows))
 

@@ -49,9 +49,20 @@ type QueryRecord struct {
 	Strategy string
 	Auto     bool
 	Rows     int
-	Elapsed  time.Duration
+	// Elapsed is execution wall time only; time spent waiting at the
+	// admission gate is reported separately as QueueWait, so a statement
+	// that queued behind a saturated server is not logged as a slow query
+	// and blamed on the engine.
+	Elapsed time.Duration
+	// QueueWait is the time the statement spent waiting for an admission
+	// slot (zero when admission control is off or the grant was
+	// immediate). It is logged as its own attribute and never feeds the
+	// slow-query promotion.
+	QueueWait time.Duration
 	// ErrClass classifies the failure: "" (success), "timeout",
-	// "canceled", "usage", "panic" or "error". Err carries the message.
+	// "canceled", "usage", "panic", "overloaded" (rejected by admission
+	// control before planning — retryable), "budget" (aborted by the
+	// per-query memory budget) or "error". Err carries the message.
 	ErrClass string
 	Err      string
 }
@@ -76,6 +87,9 @@ func (l *QueryLog) Record(r QueryRecord) {
 		slog.Bool("auto", r.Auto),
 		slog.Int("rows", r.Rows),
 		slog.Duration("elapsed", r.Elapsed),
+	}
+	if r.QueueWait > 0 {
+		attrs = append(attrs, slog.Duration("queue_wait", r.QueueWait))
 	}
 	if slow {
 		attrs = append(attrs, slog.Bool("slow", true))

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tpjoin/internal/fault"
 	"tpjoin/internal/tp"
 )
 
@@ -58,6 +59,14 @@ func Run(ctx context.Context, parts, workers int, run func(p int) error) error {
 				return
 			}
 			if ctx.Err() != nil {
+				aborted.Store(true)
+				return
+			}
+			// Chaos hook: an armed "par.worker" failpoint fails this
+			// partition like a worker error would (or panics, exercising
+			// the re-raise path below).
+			if err := fault.Inject("par.worker"); err != nil {
+				firstErr.CompareAndSwap(nil, &err)
 				aborted.Store(true)
 				return
 			}

@@ -99,6 +99,13 @@ type Session struct {
 	// Calib overrides the cost model's measured calibration
 	// (SET calibration = '<file>'); nil means the checked-in default.
 	Calib *Calibration
+	// MemBudget is the per-query memory budget in bytes
+	// (SET memory_budget): 0 inherits the surface default (tpserverd's
+	// -memory-budget; unlimited on the REPL), negative disables the
+	// budget explicitly (SET memory_budget = off), positive is the
+	// budget. The executor charges it at its allocation choke points and
+	// aborts the query with a budget error on overrun.
+	MemBudget int64
 
 	// planned records the TP join of the session's most recent Build:
 	// the physical strategy it got and whether the cost model (rather
@@ -124,11 +131,29 @@ func (s *Session) PlannedJoin() (strat engine.Strategy, auto, ok bool) {
 // statement's pick into per-query accounting.
 func (s *Session) ResetPlanned() { s.planned.join = false }
 
+// EffectiveMemBudget resolves the session's memory budget against the
+// surface default def (tpserverd's -memory-budget; 0 on the REPL): an
+// unset session budget inherits def, an explicit `SET memory_budget =
+// off` (negative) disables the budget even when the server configures a
+// default, and the result is 0 for "no budget" or the positive byte
+// count.
+func (s *Session) EffectiveMemBudget(def int64) int64 {
+	switch {
+	case s.MemBudget < 0:
+		return 0
+	case s.MemBudget > 0:
+		return s.MemBudget
+	default:
+		return max(def, 0)
+	}
+}
+
 // ApplySet updates the session from a SET statement. Setting names and
 // values are case-insensitive (calibration file paths excepted).
 // Supported settings: strategy = auto|nj|ta|pnj|pta,
 // ta_nested_loop = on|off, join_workers = <n>,
-// calibration = '<file.json>'|default.
+// calibration = '<file.json>'|default,
+// memory_budget = <bytes>[kb|mb|gb]|off|default.
 func (s *Session) ApplySet(st *sql.Set) error {
 	name := strings.ToLower(st.Name)
 	value := strings.ToLower(st.Value)
@@ -175,10 +200,47 @@ func (s *Session) ApplySet(st *sql.Set) error {
 			return fmt.Errorf("plan: calibration: %w", err)
 		}
 		s.Calib = cal
+	case "memory_budget":
+		switch value {
+		case "default":
+			s.MemBudget = 0
+		case "off", "unlimited":
+			s.MemBudget = -1
+		default:
+			n, err := ParseByteSize(value)
+			if err != nil {
+				return fmt.Errorf("plan: memory_budget wants a positive byte count (kb/mb/gb suffixes ok), off or default, got %q", st.Value)
+			}
+			s.MemBudget = n
+		}
 	default:
-		return fmt.Errorf("plan: unknown setting %q (want strategy, join_workers, ta_nested_loop or calibration)", name)
+		return fmt.Errorf("plan: unknown setting %q (want strategy, join_workers, ta_nested_loop, calibration or memory_budget)", name)
 	}
 	return nil
+}
+
+// ParseByteSize parses a positive byte count with an optional binary
+// suffix: "65536", "64kb", "256mb", "2gb" (also the one-letter forms).
+// Shared by SET memory_budget and tpserverd's -memory-budget flag.
+func ParseByteSize(v string) (int64, error) {
+	mult := int64(1)
+	for _, suf := range []struct {
+		s string
+		m int64
+	}{{"kb", 1 << 10}, {"mb", 1 << 20}, {"gb", 1 << 30}, {"k", 1 << 10}, {"m", 1 << 20}, {"g", 1 << 30}} {
+		if strings.HasSuffix(v, suf.s) {
+			v, mult = strings.TrimSuffix(v, suf.s), suf.m
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 || n > (1<<62)/mult {
+		return 0, fmt.Errorf("out of range")
+	}
+	return n * mult, nil
 }
 
 // binding maps column references to indexes of the combined output fact.

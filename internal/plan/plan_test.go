@@ -229,8 +229,37 @@ func TestApplySet(t *testing.T) {
 		t.Errorf("SET strategy=select error must list alternatives, got %v", err)
 	}
 	if err := s.ApplySet(&sql.Set{Name: "strateg", Value: "nj"}); err == nil ||
-		!strings.Contains(err.Error(), "want strategy, join_workers, ta_nested_loop or calibration") {
+		!strings.Contains(err.Error(), "want strategy, join_workers, ta_nested_loop, calibration or memory_budget") {
 		t.Errorf("unknown setting error must list setting names, got %v", err)
+	}
+	// memory_budget: plain bytes, binary suffixes, off, default — and the
+	// resolution against a surface default.
+	if err := s.ApplySet(&sql.Set{Name: "memory_budget", Value: "65536"}); err != nil || s.MemBudget != 65536 {
+		t.Errorf("SET memory_budget=65536: %v (budget %d)", err, s.MemBudget)
+	}
+	if err := s.ApplySet(&sql.Set{Name: "MEMORY_BUDGET", Value: "64MB"}); err != nil || s.MemBudget != 64<<20 {
+		t.Errorf("SET memory_budget=64MB: %v (budget %d)", err, s.MemBudget)
+	}
+	if s.EffectiveMemBudget(1<<30) != 64<<20 {
+		t.Errorf("a set budget must override the surface default")
+	}
+	if err := s.ApplySet(&sql.Set{Name: "memory_budget", Value: "off"}); err != nil || s.MemBudget != -1 {
+		t.Errorf("SET memory_budget=off: %v (budget %d)", err, s.MemBudget)
+	}
+	if s.EffectiveMemBudget(1<<30) != 0 {
+		t.Errorf("memory_budget=off must defeat the surface default")
+	}
+	if err := s.ApplySet(&sql.Set{Name: "memory_budget", Value: "default"}); err != nil || s.MemBudget != 0 {
+		t.Errorf("SET memory_budget=default: %v (budget %d)", err, s.MemBudget)
+	}
+	if s.EffectiveMemBudget(1<<30) != 1<<30 {
+		t.Errorf("an unset budget must inherit the surface default")
+	}
+	for _, bad := range []string{"0", "-5", "nope", "12tb"} {
+		if err := s.ApplySet(&sql.Set{Name: "memory_budget", Value: bad}); err == nil ||
+			!strings.Contains(err.Error(), "memory_budget wants") {
+			t.Errorf("SET memory_budget=%s must error with the accepted forms, got %v", bad, err)
+		}
 	}
 	if err := s.ApplySet(&sql.Set{Name: "ta_nested_loop", Value: "on"}); err != nil || !s.TANestedLoop {
 		t.Errorf("SET ta_nested_loop failed: %v", err)

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tpjoin/internal/obs"
+)
+
+// Admission control bounds the server's concurrent query execution: a
+// semaphore of MaxInflight slots with a bounded FIFO wait queue in front
+// of it. A statement that cannot get a slot immediately waits in the
+// queue up to QueueWait; when the queue itself is full — or the wait
+// expires — the statement is rejected *before planning* with the
+// wire-level error class "overloaded", which clients may treat as
+// retryable (tpcli retries it with backoff). The gate sits after the
+// server builtins (\metrics must stay reachable under overload — that is
+// when it is needed) and before the query ID's context/planning work, so
+// a melted server spends no execution resources on the load it sheds.
+
+// overloadError is the rejection an admission gate returns; it maps to
+// ErrClass "overloaded" on the wire.
+type overloadError struct{ msg string }
+
+func (e *overloadError) Error() string { return e.msg }
+
+// isOverload reports whether err is an admission-control rejection.
+func isOverload(err error) bool {
+	var o *overloadError
+	return errors.As(err, &o)
+}
+
+// admission is the gate. A nil *admission (MaxInflight <= 0) admits
+// everything for free — the single-user and test default.
+type admission struct {
+	metrics *obs.Metrics
+	// slots is the query-slot semaphore, pre-filled with capacity tokens.
+	slots chan struct{}
+	depth int
+	wait  time.Duration
+	// waiting is the current queue length, bounded by depth with a CAS
+	// loop so a burst of arrivals cannot overshoot the queue: the
+	// overload e2e contract is exact (slots running + depth queued,
+	// everything else rejected).
+	waiting atomic.Int64
+}
+
+// newAdmission builds a gate of maxInflight slots with a depth-long wait
+// queue and per-statement wait budget. maxInflight <= 0 disables
+// admission control (returns nil).
+func newAdmission(m *obs.Metrics, maxInflight, depth int, wait time.Duration) *admission {
+	if maxInflight <= 0 {
+		return nil
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if wait <= 0 {
+		wait = time.Second
+	}
+	a := &admission{metrics: m, slots: make(chan struct{}, maxInflight), depth: depth, wait: wait}
+	for i := 0; i < maxInflight; i++ {
+		a.slots <- struct{}{}
+	}
+	return a
+}
+
+// acquire obtains a query slot or rejects the statement. base is the
+// server's lifetime context: a hard shutdown aborts queued waiters with
+// its error (classed "canceled", not "overloaded" — the server is going
+// away, not shedding load).
+func (a *admission) acquire(base context.Context) error {
+	if a == nil {
+		return nil
+	}
+	select {
+	case <-a.slots:
+		a.metrics.AdmissionAdmitted(false, 0)
+		return nil
+	default:
+	}
+	// No free slot: take a queue seat or reject. The CAS loop keeps the
+	// queue length exactly bounded by depth under concurrent arrivals.
+	for {
+		w := a.waiting.Load()
+		if w >= int64(a.depth) {
+			a.metrics.AdmissionRejected(0)
+			return &overloadError{msg: fmt.Sprintf(
+				"server overloaded: all %d query slots busy and the admission queue is full (retryable)",
+				cap(a.slots))}
+		}
+		if a.waiting.CompareAndSwap(w, w+1) {
+			break
+		}
+	}
+	start := time.Now()
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	defer a.waiting.Add(-1)
+	select {
+	case <-a.slots:
+		a.metrics.AdmissionAdmitted(true, time.Since(start))
+		return nil
+	case <-timer.C:
+		a.metrics.AdmissionRejected(time.Since(start))
+		return &overloadError{msg: fmt.Sprintf(
+			"server overloaded: no query slot freed within the %v admission queue wait (retryable)",
+			a.wait)}
+	case <-base.Done():
+		a.metrics.AdmissionRejected(time.Since(start))
+		return base.Err()
+	}
+}
+
+// release returns an acquired slot.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	a.slots <- struct{}{}
+	a.metrics.AdmissionReleased()
+}
+
+// saturated reports whether the gate is shedding load right now: every
+// slot busy and the wait queue at capacity. /readyz degrades to 503 on
+// it, steering load balancers away before clients burn round trips on
+// rejections.
+func (a *admission) saturated() bool {
+	if a == nil {
+		return false
+	}
+	return len(a.slots) == 0 && a.waiting.Load() >= int64(a.depth)
+}

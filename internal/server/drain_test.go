@@ -1,0 +1,195 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tpjoin/internal/catalog"
+	"tpjoin/internal/client"
+	"tpjoin/internal/dataset"
+	"tpjoin/internal/fault"
+	"tpjoin/internal/server"
+	"tpjoin/internal/shell"
+)
+
+// TestShutdownDrainsInFlight: a statement already executing when
+// Shutdown begins must complete and deliver a byte-identical response,
+// while /readyz flips to 503 and new connections are refused; the drain
+// then finishes cleanly (Shutdown returns nil).
+func TestShutdownDrainsInFlight(t *testing.T) {
+	srv, addr, base := startServerWithAdmin(t, server.Config{})
+	waitReady(t, base)
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Reference bytes: the same statement on the same session, rendered
+	// before any drain starts.
+	ref, err := c.Query(ctx, joinQueries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	client.Render(&want, ref)
+	if want.Len() == 0 {
+		t.Fatal("reference render is empty")
+	}
+
+	// Hold the next statement mid-execution at the server.handle
+	// failpoint so Shutdown provably starts while it is in flight.
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var once sync.Once
+	releaseAll := func() { once.Do(func() { close(release) }) }
+	fault.Set("server.handle", func() error {
+		entered <- struct{}{}
+		<-release
+		return nil
+	})
+	t.Cleanup(fault.Reset)
+	t.Cleanup(releaseAll)
+
+	inflight := make(chan struct {
+		resp *server.Response
+		err  error
+	}, 1)
+	go func() {
+		resp, err := c.Query(ctx, joinQueries[1])
+		inflight <- struct {
+			resp *server.Response
+			err  error
+		}{resp, err}
+	}()
+	<-entered
+
+	drainDone := make(chan error, 1)
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer drainCancel()
+	go func() { drainDone <- srv.Shutdown(drainCtx) }()
+
+	// Draining: readiness degrades and the listener stops accepting.
+	waitFor(t, "readyz to report draining", func() bool {
+		code, body := adminGet(t, base+"/readyz")
+		return code == http.StatusServiceUnavailable && strings.Contains(body, "draining")
+	})
+	waitFor(t, "new connections to be refused", func() bool {
+		c2, err := client.Dial(addr)
+		if err != nil {
+			return true
+		}
+		// The listener may already have accepted the conn before it
+		// closed; a refused session dies on its first statement.
+		_, qerr := c2.Query(ctx, joinQueries[0])
+		c2.Close()
+		return qerr != nil && !client.IsOverloaded(qerr)
+	})
+
+	// The in-flight statement still completes, byte-identical to the
+	// pre-drain run.
+	releaseAll()
+	res := <-inflight
+	if res.err != nil {
+		t.Fatalf("in-flight statement failed during drain: %v", res.err)
+	}
+	var got bytes.Buffer
+	client.Render(&got, res.resp)
+	if got.String() != want.String() {
+		t.Errorf("drained response drifted from reference:\n--- want ---\n%s\n--- got ---\n%s",
+			want.String(), got.String())
+	}
+
+	if err := <-drainDone; err != nil {
+		t.Errorf("clean drain returned %v, want nil", err)
+	}
+	// The drained session was closed at its statement boundary.
+	if _, err := c.Query(ctx, joinQueries[0]); err == nil {
+		t.Error("statement after drain succeeded; session should be closed")
+	}
+}
+
+// TestShutdownDeadlineCancelsInFlight: when in-flight statements outlive
+// the drain budget, Shutdown falls back to the hard-cancel path — the
+// multi-second query aborts through its context and the whole shutdown
+// completes within ~2s.
+func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
+	cat := catalog.New()
+	shell.PreloadFig1a(cat)
+	// Large enough that the join cannot finish inside the drain budget.
+	mr, ms := dataset.Meteo(20000, 1)
+	mr.Name, ms.Name = "big_r", "big_s"
+	if err := cat.Register(mr); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register(ms); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, cat, server.Config{})
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Pass-through observer: signals when the statement is in flight
+	// without altering its behavior.
+	entered := make(chan struct{}, 1)
+	fault.Set("server.handle", func() error {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		return nil
+	})
+	t.Cleanup(fault.Reset)
+
+	queryDone := make(chan error, 1)
+	go func() {
+		_, err := c.Query(context.Background(),
+			"SELECT * FROM big_r TP LEFT JOIN big_s ON big_r.Key = big_s.Key")
+		queryDone <- err
+	}()
+	<-entered
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(drainCtx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired drain returned %v, want DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Errorf("deadline-forced shutdown took %v, want ≤ 2s", took)
+	}
+	qerr := <-queryDone
+	if qerr == nil {
+		t.Error("multi-second query survived the forced shutdown")
+	} else if !strings.Contains(qerr.Error(), "cancel") && !strings.Contains(qerr.Error(), "closed") &&
+		!strings.Contains(qerr.Error(), "deadline") && !strings.Contains(qerr.Error(), "EOF") {
+		t.Errorf("cancelled query error = %v", qerr)
+	}
+}
+
+// TestShutdownAfterClose: Shutdown on an already-closed server reports
+// it instead of hanging or double-closing.
+func TestShutdownAfterClose(t *testing.T) {
+	srv := server.New(testCatalog(t), server.Config{})
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err == nil {
+		t.Error("Shutdown after Close returned nil, want an error")
+	}
+}

@@ -20,7 +20,11 @@ import (
 //	GET /healthz                 liveness: 200 while the process serves HTTP
 //	GET /readyz                  readiness: 200 once the query listener is
 //	                             accepting (the catalog is preloaded before
-//	                             that) and not shutting down, else 503
+//	                             that); 503 while shutting down, draining,
+//	                             or with the admission queue saturated —
+//	                             load balancers steer new work elsewhere
+//	                             before clients burn round trips on
+//	                             "overloaded" rejections
 //	/debug/pprof/...             net/http/pprof: CPU/heap/goroutine/etc.
 //	                             profiles of the live server
 
@@ -53,13 +57,17 @@ func (s *Server) AdminHandler() http.Handler {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		s.mu.Lock()
-		serving, down := s.ln != nil, s.shutdown
+		serving, down, draining := s.ln != nil, s.shutdown, s.draining
 		s.mu.Unlock()
 		switch {
 		case down:
 			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		case draining:
+			http.Error(w, "draining", http.StatusServiceUnavailable)
 		case !serving:
 			http.Error(w, "query listener not accepting yet", http.StatusServiceUnavailable)
+		case s.adm.saturated():
+			http.Error(w, "admission queue saturated", http.StatusServiceUnavailable)
 		default:
 			fmt.Fprintln(w, "ready")
 		}

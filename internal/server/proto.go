@@ -69,11 +69,17 @@ type Response struct {
 	// Usage marks Error as a usage line or unknown-command notice, which
 	// the REPL renders verbatim (no "error:" prefix) — clients should do
 	// the same.
-	Usage   bool     `json:"usage,omitempty"`
-	Kind    string   `json:"kind"`
-	Message string   `json:"message,omitempty"`
-	Columns []string `json:"columns,omitempty"`
-	Rows    []Row    `json:"rows,omitempty"`
+	Usage bool `json:"usage,omitempty"`
+	// ErrClass classifies Error so clients can react without parsing the
+	// message: "overloaded" (rejected by admission control before any
+	// planning — safe to retry with backoff; tpcli does), "budget" (the
+	// query exceeded its SET memory_budget and was aborted), "timeout",
+	// "canceled", "usage", "panic" or "error". Empty on success.
+	ErrClass string   `json:"err_class,omitempty"`
+	Kind     string   `json:"kind"`
+	Message  string   `json:"message,omitempty"`
+	Columns  []string `json:"columns,omitempty"`
+	Rows     []Row    `json:"rows,omitempty"`
 	// Plan carries the structured EXPLAIN [ANALYZE] tree for KindExplain
 	// responses: per-operator rows, wall-time and stage counters under
 	// ANALYZE, plus the abort reason when a timeout interrupted the run.

@@ -36,6 +36,8 @@ import (
 	"time"
 
 	"tpjoin/internal/catalog"
+	"tpjoin/internal/fault"
+	"tpjoin/internal/mem"
 	"tpjoin/internal/obs"
 	"tpjoin/internal/shell"
 )
@@ -56,6 +58,21 @@ type Config struct {
 	// latency, error class); records slower than its slow-query threshold
 	// log at WARN.
 	QueryLog *obs.QueryLog
+
+	// MaxInflight bounds concurrently executing statements (admission
+	// control); 0 disables the gate. Statements beyond it wait in a
+	// bounded FIFO queue of QueueDepth seats for up to QueueWait
+	// (defaulting to 1s when the gate is on), then are rejected before
+	// planning with ErrClass "overloaded".
+	MaxInflight int
+	QueueDepth  int
+	QueueWait   time.Duration
+
+	// MemoryBudget is the default per-query memory budget in bytes; 0
+	// means unlimited. Sessions override it with SET memory_budget
+	// (including `off`). Budget-exceeded queries abort with ErrClass
+	// "budget".
+	MemoryBudget int64
 }
 
 // Server serves TP-SQL sessions over a shared catalog.
@@ -75,21 +92,42 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	admin    *adminServer
+	// adm is the admission gate (nil when Config.MaxInflight is 0).
+	adm *admission
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]*sessState
+	admin *adminServer
+	// draining is set by Shutdown: stop accepting, finish in-flight
+	// statements, close sessions at their next statement boundary.
+	// shutdown is the hard stop (Close).
+	draining bool
 	shutdown bool
 
 	wg sync.WaitGroup
+	// queryWG spans every in-flight statement from admission through
+	// response encode; Shutdown waits on it up to the drain deadline.
+	// Add happens under mu and only while !draining, so it cannot race
+	// Shutdown's Wait.
+	queryWG sync.WaitGroup
+}
+
+// sessState is the per-connection state the drain logic needs: whether
+// the session is between Decode and response encode right now. Guarded
+// by Server.mu.
+type sessState struct {
+	busy bool
 }
 
 // New returns a server over cat. The catalog is shared by all sessions;
 // callers typically preload it (shell.PreloadFig1a, \gen, \load).
 func New(cat *catalog.Catalog, cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{cat: cat, cfg: cfg, metrics: obs.NewMetrics(),
-		conns: make(map[net.Conn]struct{}), baseCtx: ctx, baseCancel: cancel}
+	m := obs.NewMetrics()
+	return &Server{cat: cat, cfg: cfg, metrics: m,
+		adm:   newAdmission(m, cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait),
+		conns: make(map[net.Conn]*sessState), baseCtx: ctx, baseCancel: cancel}
 }
 
 // Metrics returns a snapshot of the server counters.
@@ -123,9 +161,18 @@ func (s *Server) Serve(ln net.Listener) error {
 	var acceptDelay time.Duration
 	for {
 		conn, err := ln.Accept()
+		if err == nil {
+			// Chaos hook: an armed "server.accept" failpoint turns a
+			// successful accept into an accept error (the connection is
+			// dropped), driving the transient-retry path below.
+			if ferr := fault.Inject("server.accept"); ferr != nil {
+				conn.Close()
+				err = fmt.Errorf("accept: %w", ferr)
+			}
+		}
 		if err != nil {
 			s.mu.Lock()
-			closed := s.shutdown
+			closed := s.shutdown || s.draining
 			s.mu.Unlock()
 			if closed {
 				return nil
@@ -150,18 +197,19 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		acceptDelay = 0
 		s.mu.Lock()
-		if s.shutdown {
+		if s.shutdown || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			return nil
 		}
-		s.conns[conn] = struct{}{}
+		st := &sessState{}
+		s.conns[conn] = st
 		// Add must happen under the same lock that excludes Close's
 		// Wait-after-drain, or a session could be spawned after Close
 		// returned.
 		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.session(conn)
+		go s.session(conn, st)
 	}
 }
 
@@ -176,8 +224,10 @@ func (s *Server) Addr() net.Addr {
 }
 
 // Close stops accepting (on both the query listener and the admin HTTP
-// endpoint), closes all live sessions and waits for their goroutines to
-// drain.
+// endpoint), closes all live sessions, hard-cancels in-flight statements
+// (baseCancel) and waits for the session goroutines to drain. For a
+// graceful stop that lets in-flight statements finish first, use
+// Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.shutdown = true
@@ -190,13 +240,98 @@ func (s *Server) Close() error {
 	s.baseCancel()
 	var err error
 	if ln != nil {
-		err = ln.Close()
+		// Shutdown closes the listener before falling back to Close;
+		// net.ErrClosed here is that, not a failure.
+		if err = ln.Close(); errors.Is(err, net.ErrClosed) {
+			err = nil
+		}
 	}
 	if admin != nil {
 		admin.close()
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown drains the server gracefully: it stops accepting new
+// connections, flips /readyz to 503, closes idle sessions, and lets
+// statements already in flight — and sessions mid-statement — finish and
+// deliver their responses. Sessions end at their next statement boundary.
+// When every in-flight statement has completed, or ctx expires
+// (-drain-timeout), Shutdown falls back to Close: the remaining
+// statements are hard-cancelled through the per-query context exactly as
+// a plain Close would. It returns ctx's error if the drain deadline
+// forced the fallback, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	if !already {
+		// Idle sessions (not between Decode and response encode) have
+		// nothing to deliver; close them now. Busy ones are closed by
+		// their own session loop right after the in-flight response is
+		// written.
+		for c, st := range s.conns {
+			if !st.busy {
+				c.Close()
+			}
+		}
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close() // Serve observes draining and returns nil
+	}
+	s.logf("draining: waiting for in-flight statements")
+	done := make(chan struct{})
+	go func() { s.queryWG.Wait(); close(done) }()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		s.logf("drain deadline expired; cancelling in-flight statements")
+	}
+	if err := s.Close(); drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+// beginStatement marks st busy and registers the statement with the
+// drain accounting. It refuses (false) once the server is draining or
+// closed — the session loop then exits without answering, and the
+// connection is torn down.
+func (s *Server) beginStatement(st *sessState) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown || s.draining {
+		return false
+	}
+	st.busy = true
+	s.queryWG.Add(1)
+	return true
+}
+
+// endStatement is beginStatement's counterpart, called after the
+// response encode so a drain sweeping idle connections cannot close one
+// whose response is still being written.
+func (s *Server) endStatement(st *sessState) {
+	s.mu.Lock()
+	st.busy = false
+	s.mu.Unlock()
+	s.queryWG.Done()
+}
+
+// isDraining reports whether Shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -207,7 +342,7 @@ func (s *Server) logf(format string, args ...any) {
 
 // session runs one connection: a shell.Core with private SET settings
 // over the shared catalog, answering requests sequentially.
-func (s *Server) session(conn net.Conn) {
+func (s *Server) session(conn net.Conn, st *sessState) {
 	defer s.wg.Done()
 	remote := conn.RemoteAddr().String()
 	defer func() {
@@ -218,8 +353,21 @@ func (s *Server) session(conn net.Conn) {
 		s.metrics.SessionClosed()
 		s.logf("session %s closed", remote)
 	}()
+	// Last-resort containment for panics escaping the per-statement
+	// guards (and the "server.session" chaos failpoint): one session's
+	// panic must never take the shared process down. Registered after the
+	// cleanup defer above, so unwinding still runs the cleanup.
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("session %s panic (contained, session dropped): %v", remote, r)
+		}
+	}()
 	s.metrics.SessionOpened()
 	s.logf("session %s opened", remote)
+	if err := fault.Inject("server.session"); err != nil {
+		s.logf("session %s: injected fault: %v", remote, err)
+		return
+	}
 
 	core := shell.NewCore(s.cat)
 	dec := json.NewDecoder(conn)
@@ -237,28 +385,81 @@ func (s *Server) session(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.handle(core, &req, remote)
-		if err := enc.Encode(&resp); err != nil {
+		// Chaos hook: a decode-side wire fault hangs up mid-stream, like
+		// a peer vanishing between request and response.
+		if err := fault.Inject("server.wire.decode"); err != nil {
+			s.logf("session %s: injected decode fault: %v", remote, err)
 			return
 		}
-		if resp.Kind == KindQuit {
+		if s.serveOne(core, st, &req, remote, enc) {
 			return
 		}
 	}
 }
 
-// handle evaluates one request on the session's core: assigns the query
-// ID, runs the statement under its context, folds the outcome into the
-// metrics and the query log, and stamps the ID on the response (and on
-// the EXPLAIN ANALYZE trailer, re-rendered so the text and the
+// serveOne answers one decoded request and reports whether the session
+// should end (quit, encode failure, drain, or injected wire fault). The
+// busy window — beginStatement through the deferred endStatement — spans
+// the response encode, so a drain never closes a connection whose
+// response is in flight.
+func (s *Server) serveOne(core *shell.Core, st *sessState, req *Request, remote string, enc *json.Encoder) (stop bool) {
+	if !s.beginStatement(st) {
+		return true
+	}
+	defer s.endStatement(st)
+	resp := s.handle(core, req, remote)
+	// Chaos hook: an encode-side wire fault drops the connection
+	// mid-response — the query ran, the client never hears back.
+	if err := fault.Inject("server.wire.encode"); err != nil {
+		s.logf("session %s: injected encode fault: %v", remote, err)
+		return true
+	}
+	if err := enc.Encode(&resp); err != nil {
+		return true
+	}
+	return resp.Kind == KindQuit || s.isDraining()
+}
+
+// handle evaluates one request on the session's core: passes the
+// admission gate, assigns the query ID, runs the statement under its
+// context (carrying the session's memory budget), folds the outcome into
+// the metrics and the query log, and stamps the ID on the response (and
+// on the EXPLAIN ANALYZE trailer, re-rendered so the text and the
 // structured tree agree).
 func (s *Server) handle(core *shell.Core, req *Request, remote string) Response {
 	if resp, ok := s.builtin(req); ok {
+		// Server builtins (\metrics) bypass admission: the metrics must
+		// stay reachable exactly when the gate is shedding load.
 		return resp
 	}
 	qid := s.nextQueryID.Add(1)
+	admitStart := time.Now()
+	if err := s.adm.acquire(s.baseCtx); err != nil {
+		// Rejected before planning: no execution context, no eval — the
+		// whole point of admission control is spending nothing on shed
+		// load. The rejection still gets a query ID, an audit record
+		// (with the queue wait, classed overloaded/canceled) and a
+		// metrics observation, so shed load is visible everywhere a
+		// served query would be.
+		return s.reject(core, req, remote, qid, err, time.Since(admitStart))
+	}
+	defer s.adm.release()
+	queueWait := time.Since(admitStart)
+
+	// Chaos hook between admission and execution: tests park statements
+	// here (a blocking behavior) to hold slots deterministically, or fail
+	// them to exercise the post-admission error path.
+	if ferr := fault.Inject("server.handle"); ferr != nil {
+		resp := Response{ID: req.ID, Kind: KindNone, Error: ferr.Error(),
+			ErrClass: errClass(ferr), QueryID: qid}
+		return resp
+	}
+
 	ctx, cancel := s.queryContext(req)
 	defer cancel()
+	if b := core.Session.EffectiveMemBudget(s.cfg.MemoryBudget); b > 0 {
+		ctx = mem.WithGauge(ctx, mem.NewGauge(b))
+	}
 	start := time.Now()
 	res, err := s.eval(core, ctx, req.Query)
 	elapsed := time.Since(start)
@@ -266,7 +467,7 @@ func (s *Server) handle(core *shell.Core, req *Request, remote string) Response 
 	var resp Response
 	if err != nil {
 		resp = Response{ID: req.ID, Kind: KindNone, Error: err.Error(),
-			Usage: shell.IsUsageError(err)}
+			Usage: shell.IsUsageError(err), ErrClass: errClass(err)}
 	} else {
 		resp = encodeResult(res)
 		resp.ID = req.ID
@@ -307,6 +508,7 @@ func (s *Server) handle(core *shell.Core, req *Request, remote string) Response 
 			Auto:      planned && auto,
 			Rows:      resp.RowCount,
 			Elapsed:   elapsed,
+			QueueWait: queueWait,
 			ErrClass:  errClass(err),
 		}
 		if err != nil {
@@ -317,11 +519,39 @@ func (s *Server) handle(core *shell.Core, req *Request, remote string) Response 
 	return resp
 }
 
+// reject builds the response and accounting for a statement the
+// admission gate refused: Elapsed is zero (nothing executed) and the
+// audit record carries the queue wait separately, so overload shows up
+// as admission latency, never as engine slowness.
+func (s *Server) reject(core *shell.Core, req *Request, remote string, qid uint64, err error, wait time.Duration) Response {
+	resp := Response{ID: req.ID, Kind: KindNone, Error: err.Error(),
+		ErrClass: errClass(err), QueryID: qid}
+	strategy := obs.EffectiveStrategy(core.Session)
+	s.metrics.ObserveQuery(obs.QueryOutcome{Strategy: strategy, Err: err})
+	if s.cfg.QueryLog != nil {
+		s.cfg.QueryLog.Record(obs.QueryRecord{
+			ID:        qid,
+			Session:   remote,
+			Statement: req.Query,
+			Strategy:  strategy.String(),
+			QueueWait: wait,
+			ErrClass:  errClass(err),
+			Err:       err.Error(),
+		})
+	}
+	return resp
+}
+
 // errClass maps an evaluation error to its query-log class.
 func errClass(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	case isOverload(err):
+		// Retryable: the statement never ran; tpcli backs off and resends.
+		return "overloaded"
+	case mem.IsBudget(err):
+		return "budget"
 	case errors.Is(err, context.DeadlineExceeded):
 		return "timeout"
 	case errors.Is(err, context.Canceled):

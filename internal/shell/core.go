@@ -12,6 +12,7 @@ import (
 	"tpjoin/internal/dataset"
 	"tpjoin/internal/engine"
 	"tpjoin/internal/interval"
+	"tpjoin/internal/mem"
 	"tpjoin/internal/obs"
 	"tpjoin/internal/plan"
 	"tpjoin/internal/sql"
@@ -112,6 +113,12 @@ func (c *Core) Eval(ctx context.Context, line string) (res Result, err error) {
 	}
 	if strings.HasPrefix(line, `\`) {
 		return c.command(line)
+	}
+	// Attach the session's memory budget unless the surface already did
+	// (the server threads its own gauge, folding in the -memory-budget
+	// default; the REPL relies on this attach).
+	if b := c.Session.EffectiveMemBudget(0); b > 0 && mem.FromContext(ctx) == nil {
+		ctx = mem.WithGauge(ctx, mem.NewGauge(b))
 	}
 	return c.statement(ctx, line)
 }

@@ -110,6 +110,11 @@ const helpText = `statements:
                                 load a cost-model calibration emitted by
                                 tpbench -calibrate (default: the
                                 checked-in measured constants)
+  SET memory_budget = <bytes>|off|default
+                                per-query memory budget (kb/mb/gb
+                                suffixes ok); an over-budget query aborts
+                                with error class "budget". default =
+                                the server's -memory-budget
 commands:
   \d                      list relations
   \stats <name>           relation statistics (tuples, per-column distinct

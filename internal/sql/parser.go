@@ -86,7 +86,18 @@ func (p *Parser) setStmt() (Statement, error) {
 		v := p.cur().Text
 		p.i++
 		return &Set{Name: name, Value: v}, nil
-	case p.at(TokIdent, "") || p.at(TokNumber, "") || p.at(TokKeyword, ""):
+	case p.at(TokNumber, ""):
+		v := p.cur().Text
+		p.i++
+		// A unit suffix lexes as a trailing identifier (SET memory_budget
+		// = 64mb tokenizes as 64, mb); fold it back into the value and let
+		// ApplySet validate the unit.
+		if p.at(TokIdent, "") {
+			v += p.cur().Text
+			p.i++
+		}
+		return &Set{Name: name, Value: v}, nil
+	case p.at(TokIdent, "") || p.at(TokKeyword, ""):
 		v := p.cur().Text
 		p.i++
 		return &Set{Name: name, Value: v}, nil
