@@ -8,8 +8,11 @@
 // With -e the single statement is executed and tpcli exits with a
 // non-zero status on error; otherwise a REPL starts. The whole dialect of
 // cmd/tpquery is available, plus the server builtin \metrics. SET
-// statements affect only this session. With -v each response is followed
-// by a stderr line carrying the server-assigned query ID and wall time —
+// statements — and PREPARE/EXECUTE prepared statements, whose planning
+// the server memoizes in its shared plan cache — affect only this
+// session. With -v each response is followed by a stderr line carrying
+// the server-assigned query ID, wall time and (for EXECUTE) the plan
+// cache outcome —
 // the same ID the server's structured query log and the EXPLAIN ANALYZE
 // trailer carry, so a slow statement seen here can be joined to its
 // server-side records.
@@ -44,6 +47,12 @@ func queryRetry(ctx context.Context, c *client.Client, line string) (*server.Res
 	const maxAttempts = 5
 	backoff := 100 * time.Millisecond
 	_, bounded := ctx.Deadline()
+	// One timer reused across attempts: time.After in a retry loop leaks a
+	// live timer per iteration until it fires (Reset after a receive needs
+	// no drain since Go 1.23).
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
 	for attempt := 1; ; attempt++ {
 		resp, err := c.Query(ctx, line)
 		if !client.IsOverloaded(err) {
@@ -52,9 +61,9 @@ func queryRetry(ctx context.Context, c *client.Client, line string) (*server.Res
 		if !bounded && attempt >= maxAttempts {
 			return resp, err
 		}
-		sleep := backoff/2 + rand.N(backoff/2+1)
+		timer.Reset(backoff/2 + rand.N(backoff/2+1))
 		select {
-		case <-time.After(sleep):
+		case <-timer.C:
 		case <-ctx.Done():
 			return resp, err
 		}
@@ -64,14 +73,20 @@ func queryRetry(ctx context.Context, c *client.Client, line string) (*server.Res
 	}
 }
 
-// verboseTrailer prints the -v line: the server-assigned query ID and the
-// server-measured wall time, on stderr so piped query output stays clean.
+// verboseTrailer prints the -v line: the server-assigned query ID, the
+// server-measured wall time and — for EXECUTE — whether the server-wide
+// plan cache supplied the plan, on stderr so piped query output stays
+// clean.
 func verboseTrailer(on bool, resp *server.Response) {
 	if !on || resp == nil || resp.QueryID == 0 {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "-- query_id=%d elapsed=%.3fms\n",
-		resp.QueryID, float64(resp.ElapsedUS)/1e3)
+	plan := ""
+	if resp.PlanCache != "" {
+		plan = " plan=" + resp.PlanCache
+	}
+	fmt.Fprintf(os.Stderr, "-- query_id=%d elapsed=%.3fms%s\n",
+		resp.QueryID, float64(resp.ElapsedUS)/1e3, plan)
 }
 
 func main() {

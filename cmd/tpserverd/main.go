@@ -6,7 +6,7 @@
 //	tpserverd [-addr localhost:7654] [-http ""] [-timeout 30s]
 //	          [-max-timeout 5m] [-slow-query 1s]
 //	          [-max-inflight 0] [-queue-depth 0] [-queue-wait 1s]
-//	          [-memory-budget 0] [-drain-timeout 30s]
+//	          [-memory-budget 0] [-drain-timeout 30s] [-plan-cache 256]
 //	          [-gen webkit:1000] [-gen meteo:1000] [-no-preload] [-quiet]
 //
 // The default bind is loopback-only: the dialect includes \load, \save,
@@ -19,7 +19,14 @@
 // Every connection is an isolated session: `SET strategy = ta` on one
 // session never affects another, while CREATE TABLE ... AS, \load and
 // \drop act on the shared catalog and are immediately visible to all
-// sessions. Each query runs under a context deadline (-timeout,
+// sessions. `PREPARE name AS SELECT ...` / `EXECUTE name [(v, ...)]` /
+// `DEALLOCATE name` manage session-local prepared statements whose
+// planning (statistics profiling, cost-model strategy pick) is memoized
+// in a server-wide plan cache of -plan-cache entries (0 = default size,
+// negative disables), shared across sessions and invalidated when a
+// referenced relation changes; the tpserverd_plan_cache_* metric families
+// report hits, misses, evictions and invalidations. Each query runs under
+// a context deadline (-timeout,
 // overridable per request up to -max-timeout) that also interrupts the
 // blocking TA/PNJ join strategies mid-Open; `\metrics` returns
 // Prometheus-style counters (queries served, rows returned, timeouts,
@@ -97,8 +104,9 @@ func main() {
 		maxInflight  = flag.Int("max-inflight", 0, "admission control: max concurrently executing statements (0 = unlimited)")
 		queueDepth   = flag.Int("queue-depth", 0, "admission control: statements allowed to wait for a slot before rejection")
 		queueWait    = flag.Duration("queue-wait", time.Second, "admission control: max time a queued statement waits for a slot")
-		memBudget    = flag.String("memory-budget", "", "default per-query memory budget, e.g. 256mb (empty = unlimited; sessions override with SET memory_budget)")
+		memBudget    = flag.String("memory-budget", "", "default per-query memory budget, e.g. 256mb or 256MB (empty = unlimited; sessions override with SET memory_budget)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget: how long the first SIGTERM lets in-flight statements finish")
+		planCache    = flag.Int("plan-cache", 0, "server-wide plan cache capacity for PREPARE/EXECUTE (0 = default size, negative = disabled)")
 		gens         genFlags
 	)
 	flag.Var(&gens, "gen", "preload a synthetic workload, e.g. webkit:1000 or meteo:500 (repeatable)")
@@ -120,6 +128,7 @@ func main() {
 		MaxInflight:    *maxInflight,
 		QueueDepth:     *queueDepth,
 		QueueWait:      *queueWait,
+		PlanCacheSize:  *planCache,
 	}
 	if *memBudget != "" {
 		b, err := plan.ParseByteSize(*memBudget)

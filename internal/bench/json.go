@@ -92,8 +92,9 @@ func autoStrategy(r, s *tp.Relation, theta tp.EquiTheta, taNestedLoop bool) engi
 	return est.Chosen
 }
 
-// CollectJSON measures the requested figure panels (figs ⊆ {"5","6","7"},
-// datasets ⊆ {"webkit","meteo"}) and returns them as a labelled run.
+// CollectJSON measures the requested figure panels (figs ⊆ {"5","6","7",
+// "prepared"}, datasets ⊆ {"webkit","meteo"}) and returns them as a
+// labelled run.
 // Fig. 7 additionally measures the PNJ series (the engine-wired
 // partitioned-parallel NJ executor), which the text harness does not plot
 // because the paper has no parallel baseline. Figs. 5 and 7 also measure
@@ -119,6 +120,9 @@ func CollectJSON(figs, datasets []string, opt Options, label string) Run {
 }
 
 func collectPanel(fig, ds string, opt Options) []Record {
+	if fig == "prepared" {
+		return collectPreparedPanel(ds, opt)
+	}
 	var out []Record
 	id := figID(fig, ds)
 	switch fig {

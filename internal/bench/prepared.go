@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+
+	"tpjoin/internal/catalog"
+	"tpjoin/internal/engine"
+	"tpjoin/internal/plan"
+	"tpjoin/internal/sql"
+)
+
+// The repeated-shape panel behind BENCH_4.json: the same parameterized
+// join statement issued over and over, as a dashboard or an application
+// hot path issues it — once through the plain SELECT path (lex, parse,
+// statistics profiling and cost-model estimation on every statement) and
+// once as a PREPARE'd statement whose EXECUTE serves planning from the
+// plan cache. The two plan-only series isolate what the cache eliminates:
+// PLAN-COLD is the full per-statement planning bill, PLAN-CACHED is the
+// residual bind-and-build an EXECUTE still pays on a hit.
+
+// The repeated statement: an equi-join with a bound probability filter —
+// the placeholder changes nothing about the plan shape, which is exactly
+// why caching it is sound.
+const (
+	preparedSelect  = "SELECT * FROM r TP JOIN s ON r.Key = s.Key WHERE p >= 0.25"
+	preparedPrepare = "PREPARE q AS SELECT * FROM r TP JOIN s ON r.Key = s.Key WHERE p >= $1"
+)
+
+// The panel sweeps smaller sizes than the figures: planning cost grows
+// with input size through statistics profiling, and the point — the gap
+// between the cold and cached plan series — is visible well before the
+// join itself dominates a text figure.
+var defaultPrepared = []int{10000, 20000, 40000}
+
+// collectPreparedPanel measures the repeated-shape panel for one dataset.
+func collectPreparedPanel(ds string, opt Options) []Record {
+	var out []Record
+	id := figID("P", ds)
+	for _, n := range opt.sizes(defaultPrepared) {
+		r, s, _ := generate(ds, n, opt.seed())
+		r.Name, s.Name = "r", "s"
+		cat := catalog.New()
+		if err := cat.Register(r); err != nil {
+			panic(err)
+		}
+		if err := cat.Register(s); err != nil {
+			panic(err)
+		}
+		sess := &plan.Session{}
+		param := []sql.Literal{{Num: 0.25}}
+
+		prep := mustPrepared(preparedPrepare)
+		cache := plan.NewCache(plan.DefaultCacheSize)
+		// Warm the cache (and the catalog's stats cache for the SELECT
+		// column — both columns profile against warm statistics, so the gap
+		// measured is the plan cache's, not the stats cache's).
+		if _, _, err := plan.PlanPrepared(cache, cat, sess, prep, param); err != nil {
+			panic(err)
+		}
+
+		out = append(out,
+			record(id, ds, "SELECT", n, measure(func() {
+				op := mustBuild(cat, sess, preparedSelect)
+				if _, err := engine.RunContext(context.Background(), op, "result"); err != nil {
+					panic(err)
+				}
+			})),
+			record(id, ds, "EXECUTE", n, measure(func() {
+				op, _, err := plan.PlanPrepared(cache, cat, sess, prep, param)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := engine.RunContext(context.Background(), op, "result"); err != nil {
+					panic(err)
+				}
+			})),
+			record(id, ds, "PLAN-COLD", n, measure(func() {
+				mustBuild(cat, sess, preparedSelect)
+			})),
+			record(id, ds, "PLAN-CACHED", n, measure(func() {
+				if _, _, err := plan.PlanPrepared(cache, cat, sess, prep, param); err != nil {
+					panic(err)
+				}
+			})))
+	}
+	return out
+}
+
+// mustBuild runs the plain-SELECT statement path: lex, parse, plan.
+func mustBuild(cat *catalog.Catalog, sess *plan.Session, src string) engine.Operator {
+	st, err := sql.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	op, err := plan.Build(st.(*sql.Select), cat, sess)
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+func mustPrepared(src string) *plan.Prepared {
+	st, err := sql.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return plan.NewPrepared(st.(*sql.Prepare))
+}

@@ -62,6 +62,12 @@ func Dial(addr string) (*Client, error) {
 func DialContext(ctx context.Context, addr string) (*Client, error) {
 	var d net.Dialer
 	backoff := 50 * time.Millisecond
+	// One timer reused across attempts: time.After in a retry loop leaks a
+	// live timer per iteration until it fires (Reset after a receive needs
+	// no drain since Go 1.23).
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
 	for {
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
@@ -73,9 +79,9 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 		// Full backoff/2 base plus up to backoff/2 of jitter: a fleet of
 		// clients re-dialing a restarted server spreads out instead of
 		// stampeding in lockstep.
-		sleep := backoff/2 + rand.N(backoff/2+1)
+		timer.Reset(backoff/2 + rand.N(backoff/2+1))
 		select {
-		case <-time.After(sleep):
+		case <-timer.C:
 		case <-ctx.Done():
 			return nil, fmt.Errorf("client: dial %s: %w (last attempt: %v)", addr, ctx.Err(), err)
 		}

@@ -83,6 +83,19 @@ type Metrics struct {
 	// diagnostic path, so a mutex (not atomics) is fine.
 	opMu  sync.Mutex
 	perOp map[string]*opCounters
+
+	// planCache, when set (SetPlanCache), supplies the plan-cache counters
+	// at snapshot time — the cache keeps its own atomics; the collector
+	// only reads a point-in-time copy. Nil omits the families entirely
+	// (surfaces without a cache).
+	planCache atomic.Pointer[func() plan.CacheStats]
+}
+
+// SetPlanCache wires the plan-cache counter source (typically
+// plan.Cache.Stats) into the exposition; the tpserverd_plan_cache_*
+// families appear in every subsequent Snapshot.
+func (m *Metrics) SetPlanCache(stats func() plan.CacheStats) {
+	m.planCache.Store(&stats)
 }
 
 // NewMetrics returns a collector with the standard bucket schemes,
@@ -293,6 +306,12 @@ type MetricsSnapshot struct {
 	Latency     [strategyCount]HistogramSnapshot
 	QueryRows   HistogramSnapshot
 	PerOperator map[string]OperatorSnapshot
+
+	// PlanCache carries the shared plan cache's counters when the surface
+	// wired one (SetPlanCache); HasPlanCache gates the families so
+	// collectors without a cache render unchanged.
+	PlanCache    plan.CacheStats
+	HasPlanCache bool
 }
 
 // OperatorSnapshot is the per-operator-kind slice of the ANALYZE
@@ -329,6 +348,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		AdmissionRejected: m.admRejected.Load(),
 		AdmissionInflight: m.admInflight.Load(),
 		QueueWait:         m.queueWait.Snapshot(),
+	}
+	if f := m.planCache.Load(); f != nil {
+		s.PlanCache = (*f)()
+		s.HasPlanCache = true
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -406,6 +429,13 @@ func (s MetricsSnapshot) Render() string {
 	renderHistogram(&b, "tpserverd_admission_queue_wait_seconds", "", s.QueueWait)
 	gauge("tpserverd_last_query_seconds", "Wall time of the most recent row-producing query.", fnum(float64(s.LastQueryMicros)/1e6))
 	gauge("tpserverd_last_query_rows", "Row count of the most recent row-producing query.", fmt.Sprint(s.LastQueryRows))
+	if s.HasPlanCache {
+		counter("tpserverd_plan_cache_hits_total", "EXECUTE statements planned from the shared plan cache (stats profiling and strategy pick skipped).", fmt.Sprint(s.PlanCache.Hits))
+		counter("tpserverd_plan_cache_misses_total", "EXECUTE statements planned fresh (no valid cache entry).", fmt.Sprint(s.PlanCache.Misses))
+		counter("tpserverd_plan_cache_evictions_total", "Plan-cache entries evicted by the LRU capacity bound.", fmt.Sprint(s.PlanCache.Evictions))
+		counter("tpserverd_plan_cache_invalidations_total", "Plan-cache entries dropped because a referenced relation changed (length/Version/identity).", fmt.Sprint(s.PlanCache.Invalidations))
+		gauge("tpserverd_plan_cache_entries", "Plan-cache entries currently resident.", fmt.Sprint(s.PlanCache.Entries))
+	}
 
 	labels := make([]string, strategyCount)
 	for i := range labels {

@@ -221,8 +221,11 @@ func (s *Session) ApplySet(st *sql.Set) error {
 
 // ParseByteSize parses a positive byte count with an optional binary
 // suffix: "65536", "64kb", "256mb", "2gb" (also the one-letter forms).
-// Shared by SET memory_budget and tpserverd's -memory-budget flag.
+// Shared by SET memory_budget and tpserverd's -memory-budget flag, which
+// must accept byte-identical inputs — so the normalization (case folding,
+// whitespace trimming: "256MB", "64 kb") lives here, not in the callers.
 func ParseByteSize(v string) (int64, error) {
+	v = strings.ToLower(strings.TrimSpace(v))
 	mult := int64(1)
 	for _, suf := range []struct {
 		s string
@@ -299,21 +302,35 @@ func (b *binding) resolve(c sql.ColRef) (int, error) {
 // SET strategy = auto, the default — the cost model's cheapest estimate
 // over the catalog statistics of the join inputs (see EstimateJoin).
 func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operator, error) {
+	op, _, err := build(sel, cat, sess, nil, nil)
+	return op, err
+}
+
+// build is Build plus the prepared-statement machinery: params binds
+// placeholder literals (EXECUTE), and a non-nil cached entry short-cuts
+// the statistics profiling and cost-model estimation with the memoized
+// pick — the expensive half of planning. The returned entry describes
+// what this build planned against (relation snapshots, join estimate) so
+// PlanPrepared can publish it to the cache.
+func build(sel *sql.Select, cat *catalog.Catalog, sess *Session, params []sql.Literal, cached *Entry) (engine.Operator, *Entry, error) {
 	sess.ResetPlanned()
+	entry := &Entry{}
 	left, err := cat.Lookup(sel.From.Name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	entry.snapshot(sel.From.Name, left)
 	b := &binding{parts: []boundTable{{name: sel.From.Binding(), attrs: left.Attrs}}}
 	var op engine.Operator = engine.NewScan(left)
 
 	if sel.SetOp != nil {
 		right, err := cat.Lookup(sel.SetOp.Right.Name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		entry.snapshot(sel.SetOp.Right.Name, right)
 		if right.Arity() != left.Arity() {
-			return nil, fmt.Errorf("plan: %s and %s are not union-compatible (%d vs %d attributes)",
+			return nil, nil, fmt.Errorf("plan: %s and %s are not union-compatible (%d vs %d attributes)",
 				sel.From.Name, sel.SetOp.Right.Name, left.Arity(), right.Arity())
 		}
 		var kind engine.SetOpKind
@@ -331,23 +348,32 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 	if sel.Join != nil {
 		right, err := cat.Lookup(sel.Join.Right.Name)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		entry.snapshot(sel.Join.Right.Name, right)
 		lb := &binding{parts: []boundTable{{name: sel.From.Binding(), attrs: left.Attrs}}}
 		rb := &binding{parts: []boundTable{{name: sel.Join.Right.Binding(), attrs: right.Attrs}}}
 		theta, err := buildTheta(sel.Join.On, lb, rb)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cfg := align.Config{NestedLoop: sess.TANestedLoop}
 		// Score the strategies on the inputs' catalog statistics. When a
 		// set operation precedes the join, the left statistics describe
 		// its base relation rather than the set-op output — an accepted
 		// approximation (set ops only fragment time, they do not change
-		// the key distribution materially).
+		// the key distribution materially). A cache hit replays the
+		// memoized estimate instead: its validity against the inputs'
+		// (length, Version) state was just checked by Cache.get.
 		strategy, forced := sess.Strategy.Physical()
-		est := EstimateJoin(sel.From.Binding(), cat.Stats(left),
-			sel.Join.Right.Binding(), cat.Stats(right), theta, sess.Workers, sess.TANestedLoop, sess.Calib)
+		var est Estimate
+		if cached != nil && cached.est != nil {
+			est = *cached.est
+		} else {
+			est = EstimateJoin(sel.From.Binding(), cat.Stats(left),
+				sel.Join.Right.Binding(), cat.Stats(right), theta, sess.Workers, sess.TANestedLoop, sess.Calib)
+		}
+		entry.est = &est
 		if !forced {
 			strategy = est.Chosen
 		}
@@ -368,9 +394,9 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 	}
 
 	if len(sel.Where) > 0 {
-		pred, err := buildPredicate(sel.Where, b)
+		pred, err := buildPredicate(sel.Where, b, params)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		op = engine.NewFilter(op, pred)
 	}
@@ -381,7 +407,7 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 		for i, c := range sel.Projs {
 			idx, err := b.resolve(c)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			cols[i] = idx
 			names[i] = c.Column
@@ -392,7 +418,7 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 			op, err = engine.NewProject(op, cols, names)
 		}
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	} else if sel.Distinct {
 		cols := make([]int, b.arity())
@@ -401,7 +427,7 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 		}
 		op, err = engine.NewLineageDistinct(op, cols, b.attrs())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 
@@ -412,7 +438,7 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 		// it resolves against the *output* schema of the preceding stage.
 		less, err := buildOrder(sel.OrderBy, op.Attrs())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		op = engine.NewSort(op, less)
 	}
@@ -420,7 +446,7 @@ func Build(sel *sql.Select, cat *catalog.Catalog, sess *Session) (engine.Operato
 	if sel.Limit >= 0 {
 		op = engine.NewLimit(op, sel.Limit)
 	}
-	return op, nil
+	return op, entry, nil
 }
 
 // buildOrder compiles ORDER BY keys against the output attribute names,
@@ -543,7 +569,11 @@ func pseudoColumn(c sql.ColRef) int {
 	}
 }
 
-func buildPredicate(conds []sql.Condition, b *binding) (engine.Predicate, error) {
+// buildPredicate compiles WHERE conjuncts. params binds placeholder
+// literals (Literal.Param > 0) positionally — the EXECUTE path; a plain
+// SELECT never contains placeholders (the parser rejects them outside
+// PREPARE), so params is nil there.
+func buildPredicate(conds []sql.Condition, b *binding, params []sql.Literal) (engine.Predicate, error) {
 	type compiled struct {
 		idx    int
 		pseudo int
@@ -552,6 +582,15 @@ func buildPredicate(conds []sql.Condition, b *binding) (engine.Predicate, error)
 	}
 	cs := make([]compiled, len(conds))
 	for i, c := range conds {
+		if p := c.Lit.Param; p > 0 && !c.IsNull {
+			if p > len(params) {
+				return nil, fmt.Errorf("plan: unbound parameter $%d", p)
+			}
+			// Substitute the bound value; everything below sees a plain
+			// constant, so a parameter behaves exactly like its inline
+			// literal (the differential harness pins this).
+			c.Lit = params[p-1]
+		}
 		idx, err := b.resolve(c.Col)
 		if err != nil {
 			// Fact attributes shadow pseudo-columns; only unresolvable
@@ -708,6 +747,11 @@ type Tree struct {
 	// query IDs (the in-process REPL), and then omitted from the
 	// rendering.
 	QueryID uint64 `json:"query_id,omitempty"`
+	// PlanSource reports where an EXPLAIN [ANALYZE] EXECUTE got its plan:
+	// "cached" (the plan cache supplied the memoized stats/pick) or
+	// "fresh" (planned from scratch, entry published). Empty for plain
+	// EXPLAIN SELECT, which never consults the cache.
+	PlanSource string `json:"plan_source,omitempty"`
 }
 
 // Explain renders the operator tree of a SELECT, annotated with the join
@@ -740,6 +784,33 @@ func ExplainTree(ctx context.Context, sel *sql.Select, cat *catalog.Catalog, ses
 	if err != nil {
 		return nil, err
 	}
+	return explainOp(ctx, op, analyze)
+}
+
+// ExplainPrepared is ExplainTree for EXECUTE: the prepared statement is
+// planned through the cache (PlanPrepared), the tree is annotated with
+// the plan source ("cached" or "fresh"), and under ANALYZE the bound
+// query is executed like any other.
+func ExplainPrepared(ctx context.Context, cache *Cache, cat *catalog.Catalog, sess *Session, p *Prepared, params []sql.Literal, analyze bool) (*Tree, error) {
+	op, hit, err := PlanPrepared(cache, cat, sess, p, params)
+	if err != nil {
+		return nil, err
+	}
+	t, err := explainOp(ctx, op, analyze)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		t.PlanSource = "cached"
+	} else {
+		t.PlanSource = "fresh"
+	}
+	return t, nil
+}
+
+// explainOp instruments (under analyze), executes and renders one built
+// operator tree; the shared tail of ExplainTree and ExplainPrepared.
+func explainOp(ctx context.Context, op engine.Operator, analyze bool) (*Tree, error) {
 	t := &Tree{Analyze: analyze}
 	if analyze {
 		root := engine.Instrument(op)
@@ -846,6 +917,9 @@ func buildNode(op engine.Operator, analyze bool) *Node {
 // whole-query trailer.
 func (t *Tree) Render() string {
 	var b strings.Builder
+	if t.PlanSource != "" {
+		fmt.Fprintf(&b, "plan: %s\n", t.PlanSource)
+	}
 	renderNode(&b, t.Root, 0, t.Analyze)
 	if t.Analyze {
 		fmt.Fprintf(&b, "total: time=%.3fms alloc=%dKB",

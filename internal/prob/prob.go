@@ -22,7 +22,7 @@ package prob
 
 import (
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 
 	"tpjoin/internal/lineage"
 )
@@ -289,11 +289,18 @@ func Enumerate(e *lineage.Expr, probs Probs) float64 {
 // given seed. The standard error is about sqrt(p(1-p)/n). It panics for
 // n <= 0 (the estimate hits/n would silently be NaN), matching the
 // package's contract style for programmer errors.
+//
+// Each call owns a private PCG stream (math/rand/v2), so concurrent
+// estimators — one per worker in a parallel aggregation — never contend
+// on a shared locked source and stay individually reproducible from
+// their seeds.
 func MonteCarlo(e *lineage.Expr, probs Probs, n int, seed int64) float64 {
 	if n <= 0 {
 		panic(fmt.Sprintf("prob: MonteCarlo needs a positive sample count, got %d", n))
 	}
-	rng := rand.New(rand.NewSource(seed))
+	// The second PCG word is a fixed stream selector: distinct seeds give
+	// distinct streams, the same seed replays the same estimate.
+	rng := rand.New(rand.NewPCG(uint64(seed), 0x7079746167726173))
 	vars := e.Vars()
 	assign := make(map[lineage.Var]bool, len(vars))
 	hits := 0

@@ -1,0 +1,173 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tpjoin/internal/client"
+	"tpjoin/internal/server"
+)
+
+// TestPrepareExecuteOverTheWire drives the PREPARE/EXECUTE/DEALLOCATE
+// lifecycle through the NDJSON protocol: the plan-cache outcome travels
+// in Response.PlanCache, repeated EXECUTEs hit, and the result rows stay
+// identical to the inline SELECT on the same session.
+func TestPrepareExecuteOverTheWire(t *testing.T) {
+	cat := testCatalog(t)
+	_, addr := startServer(t, cat, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	resp, err := c.Query(ctx, "PREPARE q AS SELECT * FROM a TP JOIN b ON a.Loc = b.Loc WHERE a.Loc = $1")
+	if err != nil || !strings.Contains(resp.Message, "prepared q (1 parameter(s))") {
+		t.Fatalf("PREPARE: %v / %q", err, resp.Message)
+	}
+	if resp.PlanCache != "" {
+		t.Errorf("PREPARE itself plans nothing, PlanCache = %q", resp.PlanCache)
+	}
+
+	ref, err := c.Query(ctx, "SELECT * FROM a TP JOIN b ON a.Loc = b.Loc WHERE a.Loc = 'ZAK'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.PlanCache != "" {
+		t.Errorf("plain SELECT must not touch the plan cache, PlanCache = %q", ref.PlanCache)
+	}
+
+	first, err := c.Query(ctx, "EXECUTE q ('ZAK')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.PlanCache != "miss" {
+		t.Errorf("first EXECUTE: PlanCache = %q, want miss", first.PlanCache)
+	}
+	second, err := c.Query(ctx, "EXECUTE q ('ZAK')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.PlanCache != "hit" {
+		t.Errorf("second EXECUTE: PlanCache = %q, want hit", second.PlanCache)
+	}
+	for name, got := range map[string]*server.Response{"cold": first, "hot": second} {
+		if got.RowCount != ref.RowCount || len(got.Rows) != len(ref.Rows) {
+			t.Fatalf("%s EXECUTE: %d rows, inline SELECT %d", name, got.RowCount, ref.RowCount)
+		}
+		for i := range ref.Rows {
+			if fmt.Sprintf("%+v", ref.Rows[i]) != fmt.Sprintf("%+v", got.Rows[i]) {
+				t.Errorf("%s EXECUTE row %d: %+v, want %+v", name, i, got.Rows[i], ref.Rows[i])
+			}
+		}
+	}
+
+	if resp, err = c.Query(ctx, "DEALLOCATE q"); err != nil {
+		t.Fatalf("DEALLOCATE: %v (%q)", err, resp.Message)
+	}
+	if _, err = c.Query(ctx, "EXECUTE q ('ZAK')"); err == nil ||
+		!strings.Contains(err.Error(), "no prepared statement") {
+		t.Errorf("EXECUTE after DEALLOCATE: %v, want no-prepared-statement error", err)
+	}
+}
+
+// TestPlanCacheSharedAcrossSessions: prepared-statement names are
+// session-local, the planning behind them is not — a second session
+// EXECUTE-ing the same shape hits the entry the first session planned.
+func TestPlanCacheSharedAcrossSessions(t *testing.T) {
+	cat := testCatalog(t)
+	srv, addr := startServer(t, cat, server.Config{})
+	ctx := context.Background()
+
+	const prep = "PREPARE mine AS SELECT * FROM w_r TP JOIN w_s ON w_r.Key = w_s.Key"
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.Query(ctx, prep); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := c1.Query(ctx, "EXECUTE mine"); err != nil || resp.PlanCache != "miss" {
+		t.Fatalf("session 1 first EXECUTE: %v / %q", err, resp.PlanCache)
+	}
+
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// The name is session-local: session 2 cannot EXECUTE session 1's.
+	if _, err := c2.Query(ctx, "EXECUTE mine"); err == nil {
+		t.Error("prepared names must be session-local")
+	}
+	if _, err := c2.Query(ctx, prep); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := c2.Query(ctx, "EXECUTE mine"); err != nil || resp.PlanCache != "hit" {
+		t.Fatalf("session 2 EXECUTE must hit session 1's cached plan: %v / %q", err, resp.PlanCache)
+	}
+	if st := srv.PlanCache().Stats(); st.Hits < 1 || st.Misses < 1 {
+		t.Errorf("server cache stats = %+v, want at least one hit and one miss", st)
+	}
+}
+
+// TestPlanCacheDisabled: a negative PlanCacheSize turns the cache off;
+// EXECUTE still works, always planning fresh.
+func TestPlanCacheDisabled(t *testing.T) {
+	cat := testCatalog(t)
+	srv, addr := startServer(t, cat, server.Config{PlanCacheSize: -1})
+	if srv.PlanCache() != nil {
+		t.Fatal("negative PlanCacheSize must disable the cache")
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Query(ctx, "PREPARE q AS SELECT * FROM a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := c.Query(ctx, "EXECUTE q")
+		if err != nil || resp.PlanCache != "miss" {
+			t.Fatalf("EXECUTE %d without a cache: %v / %q, want miss", i, err, resp.PlanCache)
+		}
+	}
+}
+
+// TestPlanCacheMetricsOverHTTP: the plan-cache counters reach the
+// \metrics builtin (and therefore GET /metrics, which renders the same
+// snapshot).
+func TestPlanCacheMetricsExposition(t *testing.T) {
+	cat := testCatalog(t)
+	_, addr := startServer(t, cat, server.Config{})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for _, q := range []string{"PREPARE q AS SELECT * FROM a", "EXECUTE q", "EXECUTE q"} {
+		if _, err := c.Query(ctx, q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	resp, err := c.Query(ctx, `\metrics`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"tpserverd_plan_cache_hits_total 1",
+		"tpserverd_plan_cache_misses_total 1",
+		"tpserverd_plan_cache_entries 1",
+	} {
+		if !strings.Contains(resp.Message, want) {
+			t.Errorf("\\metrics lacks %q:\n%s", want, resp.Message)
+		}
+	}
+}

@@ -19,7 +19,13 @@ import (
 // worker count (0 = one per CPU), `SET ta_nested_loop = on|off` the TA
 // plan shape, `SET calibration = '<file>'` the cost-model constants the
 // auto picker prices with — and shares the server's catalog with every
-// other session. The `\metrics` builtin reports per-strategy throughput
+// other session. `PREPARE name AS SELECT ...` (with `?` or `$1`
+// placeholders), `EXECUTE name [(v, ...)]` and `DEALLOCATE name` manage
+// session-local prepared statements; the planning behind EXECUTE (stats
+// profiling, cost-model strategy pick) is memoized in a server-wide plan
+// cache shared by all sessions, invalidated when a referenced relation's
+// (length, Version) state changes — Response.PlanCache reports "hit" or
+// "miss" per EXECUTE. The `\metrics` builtin reports per-strategy throughput
 // (queries/rows/exec-seconds per NJ, TA, PNJ and PTA) plus the last
 // query's wall time and row count, so strategy comparisons need no
 // profiler.
@@ -86,6 +92,13 @@ type Response struct {
 	// Message holds the same tree rendered as text.
 	Plan     *plan.Tree `json:"plan,omitempty"`
 	RowCount int        `json:"row_count"`
+	// PlanCache reports how an EXECUTE (or EXPLAIN EXECUTE) statement got
+	// its plan: "hit" — the server-wide plan cache supplied the memoized
+	// statistics and strategy pick — or "miss" — planned fresh, entry
+	// published for the next EXECUTE of the same shape (any session).
+	// Empty for every other statement kind. tpcli prints it in verbose
+	// mode.
+	PlanCache string `json:"plan_cache,omitempty"`
 	// QueryID is the server-assigned monotonic per-process query identity
 	// for this statement (0 for server builtins like \metrics, which
 	// evaluate no statement). The same ID appears on the statement's
@@ -98,7 +111,7 @@ type Response struct {
 
 // encodeResult converts a shell evaluation result into a Response body.
 func encodeResult(res shell.Result) Response {
-	resp := Response{OK: true}
+	resp := Response{OK: true, PlanCache: res.PlanCache}
 	switch res.Kind {
 	case shell.KindNone:
 		resp.Kind = KindNone

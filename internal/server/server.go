@@ -39,6 +39,7 @@ import (
 	"tpjoin/internal/fault"
 	"tpjoin/internal/mem"
 	"tpjoin/internal/obs"
+	"tpjoin/internal/plan"
 	"tpjoin/internal/shell"
 )
 
@@ -73,6 +74,13 @@ type Config struct {
 	// (including `off`). Budget-exceeded queries abort with ErrClass
 	// "budget".
 	MemoryBudget int64
+
+	// PlanCacheSize bounds the server-wide plan cache shared by every
+	// session's PREPARE/EXECUTE path: 0 uses plan.DefaultCacheSize,
+	// negative disables the cache (every EXECUTE plans fresh). The cache
+	// is consulted only after admission, so shed statements cost no
+	// planning either way.
+	PlanCacheSize int
 }
 
 // Server serves TP-SQL sessions over a shared catalog.
@@ -80,6 +88,12 @@ type Server struct {
 	cat     *catalog.Catalog
 	cfg     Config
 	metrics *obs.Metrics
+
+	// planCache is the server-wide plan cache (nil when disabled): one
+	// instance attached to every session Core, so a statement shape one
+	// session prepared and planned is a cache hit for every other session
+	// preparing the same text under the same settings.
+	planCache *plan.Cache
 
 	// nextQueryID hands out the monotonic per-process query identity
 	// attached to every evaluated statement (Response.QueryID, the query
@@ -125,10 +139,18 @@ type sessState struct {
 func New(cat *catalog.Catalog, cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := obs.NewMetrics()
-	return &Server{cat: cat, cfg: cfg, metrics: m,
+	s := &Server{cat: cat, cfg: cfg, metrics: m,
 		adm:   newAdmission(m, cfg.MaxInflight, cfg.QueueDepth, cfg.QueueWait),
 		conns: make(map[net.Conn]*sessState), baseCtx: ctx, baseCancel: cancel}
+	if cfg.PlanCacheSize >= 0 {
+		s.planCache = plan.NewCache(cfg.PlanCacheSize)
+		m.SetPlanCache(s.planCache.Stats)
+	}
+	return s
 }
+
+// PlanCache returns the server-wide plan cache (nil when disabled).
+func (s *Server) PlanCache() *plan.Cache { return s.planCache }
 
 // Metrics returns a snapshot of the server counters.
 func (s *Server) Metrics() MetricsSnapshot { return s.metrics.Snapshot() }
@@ -370,6 +392,10 @@ func (s *Server) session(conn net.Conn, st *sessState) {
 	}
 
 	core := shell.NewCore(s.cat)
+	// Every session shares the server-wide plan cache. The lookup runs
+	// inside Core.Eval, i.e. after handle()'s admission acquire — a shed
+	// statement never touches the cache, let alone the planner.
+	core.PlanCache = s.planCache
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
 	for {

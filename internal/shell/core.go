@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -46,6 +47,12 @@ type Result struct {
 	// ANALYZE. Text is its canonical rendering; the server additionally
 	// puts Plan on the wire as structured fields.
 	Plan *plan.Tree
+	// PlanCache reports how an EXECUTE (or EXPLAIN EXECUTE) got its plan:
+	// "hit" (the shared plan cache skipped stats profiling and the
+	// cost-model pick) or "miss" (planned fresh, entry published). Empty
+	// for every other statement. The server forwards it on the wire;
+	// tpcli -v prints it.
+	PlanCache string
 }
 
 // Core is the statement dispatch/execution engine shared by the
@@ -62,11 +69,21 @@ type Core struct {
 	// server intercepts \metrics itself and renders its shared collector
 	// through the same obs Render path.
 	Metrics *obs.Metrics
+	// PlanCache, when non-nil, memoizes EXECUTE planning (stats profiling
+	// and the cost-model strategy pick) across statements — and, on the
+	// server, across sessions: tpserverd attaches its server-wide cache to
+	// every session Core, the REPL a process-local one. Nil disables
+	// caching; EXECUTE then plans fresh each time.
+	PlanCache *plan.Cache
+	// prepared is the session's PREPARE'd statements by name. Names are
+	// session-local (like PostgreSQL's); the planning work behind them is
+	// shared through PlanCache.
+	prepared map[string]*plan.Prepared
 }
 
 // NewCore returns a session core over cat with default settings.
 func NewCore(cat *catalog.Catalog) *Core {
-	return &Core{Catalog: cat, Session: &plan.Session{}}
+	return &Core{Catalog: cat, Session: &plan.Session{}, prepared: make(map[string]*plan.Prepared)}
 }
 
 // PreloadFig1a registers the paper's running-example relations a and b
@@ -262,6 +279,22 @@ func (c *Core) command(line string) (Result, error) {
 			return Result{}, err
 		}
 		return Result{Kind: KindMessage, Text: c.Catalog.Stats(rel).Render(fields[1])}, nil
+	case `\prepared`:
+		// This session's prepared statements, sorted by name.
+		names := make([]string, 0, len(c.prepared))
+		for n := range c.prepared {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, n := range names {
+			p := c.prepared[n]
+			fmt.Fprintf(&b, "  %s (%d parameter(s)) — %s\n", n, p.NumParams, p.Text)
+		}
+		if len(names) == 0 {
+			b.WriteString("  (none)\n")
+		}
+		return Result{Kind: KindMessage, Text: b.String()}, nil
 	case `\metrics`:
 		// The same enriched snapshot and Render path as tpserverd's HTTP
 		// /metrics endpoint; on the REPL the collector is process-local.
@@ -280,6 +313,15 @@ func message(format string, args ...any) Result {
 	return Result{Kind: KindMessage, Text: fmt.Sprintf(format, args...)}
 }
 
+// lookupPrepared resolves a session-local prepared-statement name.
+func (c *Core) lookupPrepared(name string) (*plan.Prepared, error) {
+	prep, ok := c.prepared[name]
+	if !ok {
+		return nil, fmt.Errorf("no prepared statement %q (PREPARE it first; \\prepared lists this session's)", name)
+	}
+	return prep, nil
+}
+
 func (c *Core) statement(ctx context.Context, line string) (Result, error) {
 	st, err := sql.Parse(line)
 	if err != nil {
@@ -292,11 +334,62 @@ func (c *Core) statement(ctx context.Context, line string) (Result, error) {
 		}
 		return Result{Kind: KindMessage, Text: "ok\n"}, nil
 	case *sql.Explain:
+		if s.Exec != nil {
+			prep, err := c.lookupPrepared(s.Exec.Name)
+			if err != nil {
+				return Result{}, err
+			}
+			tree, err := plan.ExplainPrepared(ctx, c.PlanCache, c.Catalog, c.Session, prep, s.Exec.Params, s.Analyze)
+			if err != nil {
+				return Result{}, err
+			}
+			res := Result{Kind: KindExplain, Text: tree.Render(), Plan: tree}
+			if tree.PlanSource == "cached" {
+				res.PlanCache = "hit"
+			} else {
+				res.PlanCache = "miss"
+			}
+			return res, nil
+		}
 		tree, err := plan.ExplainTree(ctx, s.Query, c.Catalog, c.Session, s.Analyze)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Kind: KindExplain, Text: tree.Render(), Plan: tree}, nil
+	case *sql.Prepare:
+		if _, ok := c.prepared[s.Name]; ok {
+			return Result{}, fmt.Errorf("prepared statement %q already exists (DEALLOCATE it first)", s.Name)
+		}
+		if c.prepared == nil {
+			// Cores built as struct literals (tests) skip NewCore.
+			c.prepared = make(map[string]*plan.Prepared)
+		}
+		c.prepared[s.Name] = plan.NewPrepared(s)
+		return message("prepared %s (%d parameter(s))\n", s.Name, s.NumParams), nil
+	case *sql.Execute:
+		prep, err := c.lookupPrepared(s.Name)
+		if err != nil {
+			return Result{}, err
+		}
+		op, hit, err := plan.PlanPrepared(c.PlanCache, c.Catalog, c.Session, prep, s.Params)
+		if err != nil {
+			return Result{}, err
+		}
+		rel, err := engine.RunContext(ctx, op, "result")
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{Kind: KindRows, Rel: rel, PlanCache: "miss"}
+		if hit {
+			res.PlanCache = "hit"
+		}
+		return res, nil
+	case *sql.Deallocate:
+		if _, ok := c.prepared[s.Name]; !ok {
+			return Result{}, fmt.Errorf("no prepared statement %q", s.Name)
+		}
+		delete(c.prepared, s.Name)
+		return message("deallocated %s\n", s.Name), nil
 	case *sql.CreateTableAs:
 		op, err := plan.Build(s.Query, c.Catalog, c.Session)
 		if err != nil {

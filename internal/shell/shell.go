@@ -40,6 +40,11 @@ func New(out io.Writer) *Shell {
 	PreloadFig1a(cat)
 	core := NewCore(cat)
 	core.Metrics = obs.NewMetrics()
+	// A process-local plan cache: the REPL gets the same PREPARE/EXECUTE
+	// fast path (and the same tpserverd_plan_cache_* families in \metrics)
+	// as a server session.
+	core.PlanCache = plan.NewCache(plan.DefaultCacheSize)
+	core.Metrics.SetPlanCache(core.PlanCache.Stats)
 	return &Shell{Core: core, Out: out}
 }
 
@@ -92,7 +97,19 @@ const helpText = `statements:
          [WHERE ...] [ORDER BY ...] [LIMIT n]
   SELECT ... FROM r TP UNION|INTERSECT|EXCEPT s
   CREATE TABLE name AS SELECT ...
+  PREPARE name AS SELECT ...    parse and pin a statement for repeated
+                                execution; ? or $1 placeholders may stand
+                                for WHERE literals, bound per EXECUTE
+  EXECUTE name [(v, ...)]       run a prepared statement with the values
+                                bound; planning (stats, strategy pick) is
+                                served from the shared plan cache until a
+                                referenced relation changes
+  DEALLOCATE name               discard a prepared statement
   EXPLAIN SELECT ...            show the operator tree and join strategy
+  EXPLAIN [ANALYZE] EXECUTE name [(v, ...)]
+                                like EXPLAIN SELECT, plus a first line
+                                "plan: cached|fresh" reporting whether the
+                                plan cache supplied the plan
   EXPLAIN ANALYZE SELECT ...    execute and show per-operator rows, wall
                                 time and strategy stage counters; a query
                                 aborted by its timeout reports the abort
@@ -117,6 +134,7 @@ const helpText = `statements:
                                 the server's -memory-budget
 commands:
   \d                      list relations
+  \prepared               list this session's prepared statements
   \stats <name>           relation statistics (tuples, per-column distinct
                           values and group sizes, temporal span/overlap) —
                           what the auto strategy picker uses

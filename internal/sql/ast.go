@@ -217,14 +217,24 @@ func (c Condition) String() string {
 	return fmt.Sprintf("%s %s %s", c.Col, c.Op, c.Lit)
 }
 
-// Literal is a string or numeric constant.
+// Literal is a string or numeric constant, or — inside a PREPARE'd
+// statement — a parameter placeholder to be bound at EXECUTE time.
 type Literal struct {
 	IsString bool
 	Str      string
 	Num      float64
+	// Param is the 1-based parameter index of a placeholder (`?`
+	// placeholders are numbered left to right, `$N` explicitly); 0 for an
+	// ordinary constant. A placeholder literal has no value of its own.
+	Param int
 }
 
 func (l Literal) String() string {
+	if l.Param > 0 {
+		// Canonical rendering normalizes ? and $N to one spelling, so the
+		// plan-cache key is placeholder-style-independent.
+		return fmt.Sprintf("$%d", l.Param)
+	}
 	if l.IsString {
 		return "'" + strings.ReplaceAll(l.Str, "'", "''") + "'"
 	}
@@ -242,20 +252,28 @@ func (l Literal) Value() tp.Value {
 	return tp.Float(l.Num)
 }
 
-// Explain wraps a SELECT for plan display. Analyze additionally executes
-// the query and reports per-operator row counts.
+// Explain wraps a SELECT — or an EXECUTE of a prepared statement — for
+// plan display. Analyze additionally executes the query and reports
+// per-operator row counts. Exactly one of Query and Exec is set.
 type Explain struct {
 	Query   *Select
+	Exec    *Execute
 	Analyze bool
 }
 
 func (*Explain) stmt() {}
 
 func (e *Explain) String() string {
-	if e.Analyze {
-		return "EXPLAIN ANALYZE " + e.Query.String()
+	var inner string
+	if e.Exec != nil {
+		inner = e.Exec.String()
+	} else {
+		inner = e.Query.String()
 	}
-	return "EXPLAIN " + e.Query.String()
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + inner
+	}
+	return "EXPLAIN " + inner
 }
 
 // CreateTableAs materializes a query result under a new catalog name:
@@ -270,6 +288,51 @@ func (*CreateTableAs) stmt() {}
 func (c *CreateTableAs) String() string {
 	return "CREATE TABLE " + c.Name + " AS " + c.Query.String()
 }
+
+// Prepare names a parsed SELECT for repeated execution:
+// PREPARE name AS SELECT ... — with `?` or `$N` placeholders in WHERE
+// literal positions, bound per EXECUTE. NumParams is the number of
+// parameters the statement wants (the highest placeholder index).
+type Prepare struct {
+	Name      string
+	Query     *Select
+	NumParams int
+}
+
+func (*Prepare) stmt() {}
+
+func (p *Prepare) String() string {
+	return "PREPARE " + p.Name + " AS " + p.Query.String()
+}
+
+// Execute runs a prepared statement with the given parameter values:
+// EXECUTE name [(param, ...)].
+type Execute struct {
+	Name   string
+	Params []Literal
+}
+
+func (*Execute) stmt() {}
+
+func (e *Execute) String() string {
+	if len(e.Params) == 0 {
+		return "EXECUTE " + e.Name
+	}
+	parts := make([]string, len(e.Params))
+	for i, p := range e.Params {
+		parts[i] = p.String()
+	}
+	return "EXECUTE " + e.Name + " (" + strings.Join(parts, ", ") + ")"
+}
+
+// Deallocate discards a prepared statement: DEALLOCATE name.
+type Deallocate struct {
+	Name string
+}
+
+func (*Deallocate) stmt() {}
+
+func (d *Deallocate) String() string { return "DEALLOCATE " + d.Name }
 
 // Set assigns a session variable: SET name = value.
 type Set struct {

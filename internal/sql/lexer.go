@@ -22,6 +22,9 @@ const (
 	TokString
 	TokNumber
 	TokSymbol
+	// TokParam is a parameter placeholder: `?` (Text "") or `$N`
+	// (Text "N"). Placeholders are only meaningful inside PREPARE.
+	TokParam
 )
 
 func (k TokenKind) String() string {
@@ -38,6 +41,8 @@ func (k TokenKind) String() string {
 		return "number"
 	case TokSymbol:
 		return "symbol"
+	case TokParam:
+		return "parameter"
 	default:
 		return fmt.Sprintf("token(%d)", uint8(k))
 	}
@@ -58,6 +63,7 @@ var keywords = map[string]bool{
 	"ANALYZE": true, "UNION": true, "INTERSECT": true, "EXCEPT": true,
 	"DISTINCT": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
 	"CREATE": true, "TABLE": true,
+	"PREPARE": true, "EXECUTE": true, "DEALLOCATE": true,
 }
 
 // symbols that may be one or two characters.
@@ -135,6 +141,18 @@ func (l *Lexer) Next() (Token, error) {
 		case '(', ')', ',', '.', '*', '=', '<', '>', ';':
 			l.pos++
 			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		case '?':
+			l.pos++
+			return Token{Kind: TokParam, Pos: start}, nil
+		case '$':
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == start+1 {
+				return Token{}, fmt.Errorf("sql: expected digits after $ at %d", start)
+			}
+			return Token{Kind: TokParam, Text: l.src[start+1 : l.pos], Pos: start}, nil
 		}
 		return Token{}, fmt.Errorf("sql: unexpected character %q at %d", c, start)
 	}

@@ -12,6 +12,16 @@ import (
 type Parser struct {
 	toks []Token
 	i    int
+
+	// Placeholder accounting, active only while parsing the SELECT body of
+	// a PREPARE: `?` placeholders are numbered left to right, `$N` names an
+	// index explicitly, and the two styles must not be mixed (the implied
+	// numbering would be ambiguous).
+	inPrepare bool
+	autoParam int // next index for `?`
+	maxParam  int // highest index seen (either style)
+	qmarks    bool
+	dollars   bool
 }
 
 // Parse parses a single statement (an optional trailing ';' is allowed).
@@ -36,11 +46,41 @@ func (p *Parser) statement() (Statement, error) {
 	switch {
 	case p.accept(TokKeyword, "EXPLAIN"):
 		analyze := p.accept(TokKeyword, "ANALYZE")
+		if p.accept(TokKeyword, "EXECUTE") {
+			exec, err := p.executeStmt()
+			if err != nil {
+				return nil, err
+			}
+			return &Explain{Exec: exec, Analyze: analyze}, nil
+		}
 		sel, err := p.selectStmt()
 		if err != nil {
 			return nil, err
 		}
 		return &Explain{Query: sel, Analyze: analyze}, nil
+	case p.accept(TokKeyword, "PREPARE"):
+		name, err := p.ident("prepared-statement name")
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(TokKeyword, "AS") {
+			return nil, p.errf("expected AS after PREPARE %s, got %q", name, p.cur().Text)
+		}
+		p.inPrepare = true
+		sel, err := p.selectStmt()
+		p.inPrepare = false
+		if err != nil {
+			return nil, err
+		}
+		return &Prepare{Name: name, Query: sel, NumParams: p.maxParam}, nil
+	case p.accept(TokKeyword, "EXECUTE"):
+		return p.executeStmt()
+	case p.accept(TokKeyword, "DEALLOCATE"):
+		name, err := p.ident("prepared-statement name")
+		if err != nil {
+			return nil, err
+		}
+		return &Deallocate{Name: name}, nil
 	case p.accept(TokKeyword, "SET"):
 		return p.setStmt()
 	case p.accept(TokKeyword, "CREATE"):
@@ -62,8 +102,35 @@ func (p *Parser) statement() (Statement, error) {
 	case p.at(TokKeyword, "SELECT"):
 		return p.selectStmt()
 	default:
-		return nil, p.errf("expected SELECT, EXPLAIN, SET or CREATE TABLE, got %q", p.cur().Text)
+		return nil, p.errf("expected SELECT, EXPLAIN, SET, CREATE TABLE, PREPARE, EXECUTE or DEALLOCATE, got %q", p.cur().Text)
 	}
+}
+
+// executeStmt parses the remainder of EXECUTE name [(param, ...)]; the
+// EXECUTE keyword is already consumed. Parameter values are plain
+// literals — a placeholder here would have nothing to bind it.
+func (p *Parser) executeStmt() (*Execute, error) {
+	name, err := p.ident("prepared-statement name")
+	if err != nil {
+		return nil, err
+	}
+	ex := &Execute{Name: name}
+	if p.accept(TokSymbol, "(") {
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			ex.Params = append(ex.Params, lit)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if !p.accept(TokSymbol, ")") {
+			return nil, p.errf("expected ')' after EXECUTE parameters, got %q", p.cur().Text)
+		}
+	}
+	return ex, nil
 }
 
 func (p *Parser) setStmt() (Statement, error) {
@@ -307,6 +374,31 @@ func (p *Parser) condition() (Condition, error) {
 
 func (p *Parser) literal() (Literal, error) {
 	switch {
+	case p.at(TokParam, ""):
+		if !p.inPrepare {
+			return Literal{}, p.errf("parameter placeholders are only allowed inside PREPARE")
+		}
+		t := p.cur()
+		p.i++
+		if t.Text == "" { // `?`: numbered left to right
+			if p.dollars {
+				return Literal{}, p.errf("cannot mix ? and $N placeholders in one statement")
+			}
+			p.qmarks = true
+			p.autoParam++
+			p.maxParam = max(p.maxParam, p.autoParam)
+			return Literal{Param: p.autoParam}, nil
+		}
+		if p.qmarks {
+			return Literal{}, p.errf("cannot mix ? and $N placeholders in one statement")
+		}
+		p.dollars = true
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 1 {
+			return Literal{}, p.errf("invalid parameter $%s (want $1, $2, ...)", t.Text)
+		}
+		p.maxParam = max(p.maxParam, n)
+		return Literal{Param: n}, nil
 	case p.at(TokString, ""):
 		s := p.cur().Text
 		p.i++

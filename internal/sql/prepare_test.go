@@ -1,0 +1,183 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePrepare(t *testing.T) {
+	st, err := Parse("PREPARE q AS SELECT * FROM a TP JOIN b ON a.Loc = b.Loc WHERE a.Loc = ?")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	p, ok := st.(*Prepare)
+	if !ok {
+		t.Fatalf("got %T, want *Prepare", st)
+	}
+	if p.Name != "q" || p.NumParams != 1 || p.Query == nil {
+		t.Fatalf("unexpected parse: %#v", p)
+	}
+	if got := p.Query.Where[0].Lit.Param; got != 1 {
+		t.Errorf("placeholder param index = %d, want 1", got)
+	}
+}
+
+func TestParsePrepareAutoNumbersQuestionMarks(t *testing.T) {
+	st, err := Parse("PREPARE q AS SELECT * FROM a WHERE Loc = ? AND p >= ?")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	p := st.(*Prepare)
+	if p.NumParams != 2 {
+		t.Fatalf("NumParams = %d, want 2", p.NumParams)
+	}
+	if p.Query.Where[0].Lit.Param != 1 || p.Query.Where[1].Lit.Param != 2 {
+		t.Errorf("`?` placeholders must number left to right: %#v", p.Query.Where)
+	}
+}
+
+func TestParsePrepareDollarPlaceholders(t *testing.T) {
+	// $N is explicit and reusable: NumParams is the highest index, not the
+	// occurrence count.
+	st, err := Parse("PREPARE q AS SELECT * FROM a WHERE Loc = $2 AND Name = $2 AND p >= $1")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	p := st.(*Prepare)
+	if p.NumParams != 2 {
+		t.Fatalf("NumParams = %d, want 2", p.NumParams)
+	}
+	if p.Query.Where[0].Lit.Param != 2 || p.Query.Where[2].Lit.Param != 1 {
+		t.Errorf("$N indices not preserved: %#v", p.Query.Where)
+	}
+}
+
+func TestParsePrepareNormalizesPlaceholderStyle(t *testing.T) {
+	// The canonical String() form renders `?` as `$N`, so both styles of
+	// the same statement share one plan-cache key.
+	q, err := Parse("PREPARE q AS SELECT * FROM a WHERE Loc = ? AND p >= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse("PREPARE q AS SELECT * FROM a WHERE Loc = $1 AND p >= $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, ds := q.(*Prepare).Query.String(), d.(*Prepare).Query.String()
+	if qs != ds {
+		t.Errorf("canonical forms differ:\n  ?  → %s\n  $N → %s", qs, ds)
+	}
+	if !strings.Contains(qs, "$1") || !strings.Contains(qs, "$2") {
+		t.Errorf("canonical form must use $N placeholders: %s", qs)
+	}
+}
+
+func TestParsePrepareRejectsMixedStyles(t *testing.T) {
+	for _, in := range []string{
+		"PREPARE q AS SELECT * FROM a WHERE Loc = ? AND p >= $2",
+		"PREPARE q AS SELECT * FROM a WHERE Loc = $1 AND p >= ?",
+	} {
+		_, err := Parse(in)
+		if err == nil || !strings.Contains(err.Error(), "mix") {
+			t.Errorf("Parse(%q) = %v, want mixed-placeholder error", in, err)
+		}
+	}
+}
+
+func TestPlaceholdersOnlyInsidePrepare(t *testing.T) {
+	for _, in := range []string{
+		"SELECT * FROM a WHERE Loc = ?",
+		"SELECT * FROM a WHERE p >= $1",
+		"EXECUTE q (?)",
+		"CREATE TABLE t AS SELECT * FROM a WHERE Loc = ?",
+	} {
+		_, err := Parse(in)
+		if err == nil || !strings.Contains(err.Error(), "PREPARE") {
+			t.Errorf("Parse(%q) = %v, want placeholders-only-inside-PREPARE error", in, err)
+		}
+	}
+}
+
+func TestParseExecute(t *testing.T) {
+	st, err := Parse("EXECUTE q")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	e, ok := st.(*Execute)
+	if !ok || e.Name != "q" || len(e.Params) != 0 {
+		t.Fatalf("unexpected parse: %#v", st)
+	}
+
+	st, err = Parse("EXECUTE q ('Munich', 0.5)")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	e = st.(*Execute)
+	if len(e.Params) != 2 || e.Params[0].Str != "Munich" || e.Params[1].Num != 0.5 {
+		t.Fatalf("params wrong: %#v", e.Params)
+	}
+}
+
+func TestParseDeallocate(t *testing.T) {
+	st, err := Parse("DEALLOCATE q")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if d, ok := st.(*Deallocate); !ok || d.Name != "q" {
+		t.Fatalf("unexpected parse: %#v", st)
+	}
+}
+
+func TestParseExplainExecute(t *testing.T) {
+	st, err := Parse("EXPLAIN ANALYZE EXECUTE q (1)")
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	ex, ok := st.(*Explain)
+	if !ok || !ex.Analyze || ex.Exec == nil || ex.Query != nil {
+		t.Fatalf("unexpected parse: %#v", st)
+	}
+	if ex.Exec.Name != "q" || len(ex.Exec.Params) != 1 {
+		t.Fatalf("inner EXECUTE wrong: %#v", ex.Exec)
+	}
+}
+
+func TestPrepareStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"PREPARE q AS SELECT * FROM a WHERE Loc = $1",
+		"EXECUTE q ('x', 2)",
+		"DEALLOCATE q",
+		"EXPLAIN EXECUTE q",
+		"EXPLAIN ANALYZE EXECUTE q (1)",
+	} {
+		st, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		again, err := Parse(st.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q → %q): %v", in, st.String(), err)
+		}
+		if st.String() != again.String() {
+			t.Errorf("round trip unstable: %q → %q", st.String(), again.String())
+		}
+	}
+}
+
+func TestParsePrepareErrors(t *testing.T) {
+	for _, in := range []string{
+		"PREPARE AS SELECT * FROM a",                  // missing name
+		"PREPARE q SELECT * FROM a",                   // missing AS
+		"PREPARE q AS SET strategy = ta",              // only SELECT can be prepared
+		"PREPARE q AS SELECT * FROM a WHERE Loc = $0", // $N is 1-based
+		"PREPARE q AS SELECT * FROM a WHERE Loc = $",  // digits required
+		"EXECUTE",        // missing name
+		"EXECUTE q (1,)", // trailing comma
+		"EXECUTE q (1",   // unclosed paren
+		"DEALLOCATE",     // missing name
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) must fail", in)
+		}
+	}
+}
