@@ -1,0 +1,117 @@
+// Command tplint is the repo's custom static-analysis gate: five
+// vet-style analyzers (internal/lint) that mechanically enforce the
+// engine's hand-maintained contracts — cancellation checkpoints in drain
+// loops (ctxcheck), pooled-buffer hygiene (poolhygiene), (length,
+// Version) cache validity (cachekey), Strategy-enum synchronization
+// (enumsync) and the wire error-class vocabulary (errclass).
+//
+// Standalone, from the module root:
+//
+//	go run ./cmd/tplint ./...          # whole repo
+//	go run ./cmd/tplint -analyzers ctxcheck,poolhygiene ./internal/core
+//	go run ./cmd/tplint -list          # analyzer names and invariants
+//
+// As a go vet tool (runs per package through the build cache, test files
+// included):
+//
+//	go build -o bin/tplint ./cmd/tplint
+//	go vet -vettool=$(pwd)/bin/tplint ./...
+//
+// Findings are suppressed line-by-line with a written reason:
+//
+//	//tplint:ignore <analyzer> <reason>
+//
+// Exit status: 0 clean, 1 usage/internal error, 2 findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tpjoin/internal/lint"
+)
+
+func main() {
+	// go vet's tool protocol: the tool is invoked with -V=full for a
+	// version fingerprint, -flags for its flag schema, and then once per
+	// package with a JSON config file argument.
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(runVet(os.Args[1]))
+	}
+
+	var (
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		names     = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		vFlag     = flag.String("V", "", "print version and exit (go vet protocol; use -V=full)")
+		flagsFlag = flag.Bool("flags", false, "print the flag schema as JSON and exit (go vet protocol)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tplint [-analyzers a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *vFlag != "" {
+		// The whole output line is the go command's cache key for this
+		// tool; bump the trailing tag when analyzer behavior changes.
+		fmt.Printf("tplint version tplint-1\n")
+		return
+	}
+	if *flagsFlag {
+		// No analyzer flags are passed through go vet; an empty schema
+		// tells the go command not to forward any.
+		fmt.Println("[]")
+		return
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tplint:", err)
+		os.Exit(1)
+	}
+	pkgs, err := lint.NewLoader().Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tplint:", err)
+		os.Exit(1)
+	}
+	diags := lint.RunAnalyzers(analyzers, pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tplint: %d finding(s)\n", len(diags))
+		os.Exit(2)
+	}
+}
+
+func selectAnalyzers(names string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer)
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}

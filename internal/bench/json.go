@@ -149,6 +149,9 @@ func collectPanel(fig, ds string, opt Options) []Record {
 			switch autoStrategy(r, s, theta, false) {
 			case engine.StrategyTA, engine.StrategyPTA:
 				executed = engine.StrategyTA
+			default:
+				// StrategyNJ, StrategyPNJ and any future strategy measure
+				// the sequential NJ pipeline initialized above.
 			}
 			auto := record(id, ds, "AUTO", n, measure(func() {
 				if executed == engine.StrategyTA {

@@ -198,7 +198,7 @@ func (e *ServerError) Error() string { return e.Msg }
 // backoff) is safe even for non-idempotent statements.
 func IsOverloaded(err error) bool {
 	var se *ServerError
-	return errors.As(err, &se) && se.ErrClass == "overloaded"
+	return errors.As(err, &se) && se.ErrClass == server.ErrClassOverloaded
 }
 
 // Render writes resp to w exactly as the in-process shell would render

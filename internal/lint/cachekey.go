@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CacheKey enforces the relation-cache staleness contract established by
+// PR 2 (core relCache), PR 4 (stats.Cache) and PR 8 (plan.Cache): any
+// cache keyed on relation state must snapshot and re-check BOTH the
+// relation's length (Len() / len(rel.Tuples)) and its mutation counter
+// (Version()). Length alone misses in-place mutations at equal length
+// (SortByStart, element updates) — the exact PR 8-style stale-plan bug;
+// Version alone misses nothing today but the pair is the documented
+// invariant and the cheap double-check keeps it that way.
+//
+// Two rules:
+//
+//  1. A function that reads a relation's Version() must also read a
+//     relation length in the same function (snapshot and check sides both
+//     satisfy this by construction when written correctly).
+//  2. A comparison of a relation length against stored state (a struct
+//     field or captured variable — not a literal, not another live
+//     relation) in a function that never reads Version() is a
+//     length-only staleness check.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc: "relation-derived caches must validate on the (length, Version) pair\n\n" +
+		"Reading rel.Version() without rel.Len()/len(rel.Tuples) nearby, or\n" +
+		"comparing a relation length against cached state without consulting\n" +
+		"Version(), is a stale-cache bug waiting for an equal-length mutation.",
+	Run: runCacheKey,
+}
+
+func runCacheKey(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The Relation type's own method set defines Version/Len — the
+			// contract binds their callers, not their bodies.
+			if isRelationMethod(pass, fd) {
+				continue
+			}
+			checkCacheKeys(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isRelationType reports whether t is a (pointer to a) named struct type
+// called Relation — tp.Relation in the repo, mini stand-ins in fixtures.
+func isRelationType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Relation"
+}
+
+func isRelationMethod(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	return isRelationType(pass.TypeOf(fd.Recv.List[0].Type))
+}
+
+// relVersionCall matches `x.Version()` where x is a Relation.
+func relVersionCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Version" && isRelationType(pass.TypeOf(sel.X))
+}
+
+// relLenExpr matches a relation length read: `x.Len()` or
+// `len(x.Tuples)` with x a Relation.
+func relLenExpr(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Len" {
+		return isRelationType(pass.TypeOf(sel.X))
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "len" && len(call.Args) == 1 {
+		if sel, ok := call.Args[0].(*ast.SelectorExpr); ok && sel.Sel.Name == "Tuples" {
+			return isRelationType(pass.TypeOf(sel.X))
+		}
+	}
+	return false
+}
+
+func checkCacheKeys(pass *Pass, fd *ast.FuncDecl) {
+	var versionCalls []token.Pos
+	var lenReads int
+	var lengthOnlyCompares []token.Pos
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if relVersionCall(pass, n) {
+				versionCalls = append(versionCalls, n.Pos())
+			}
+			if relLenExpr(pass, n) {
+				lenReads++
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			var lenSide, otherSide ast.Expr
+			if relLenExpr(pass, n.X) {
+				lenSide, otherSide = n.X, n.Y
+			} else if relLenExpr(pass, n.Y) {
+				lenSide, otherSide = n.Y, n.X
+			}
+			if lenSide == nil {
+				return true
+			}
+			// Comparing against a literal (emptiness checks) or another
+			// live relation (size heuristics) is not a staleness check;
+			// comparing against stored state is.
+			if isStoredState(pass, otherSide) {
+				lengthOnlyCompares = append(lengthOnlyCompares, n.Pos())
+			}
+		}
+		return true
+	})
+
+	if len(versionCalls) > 0 && lenReads == 0 {
+		for _, pos := range versionCalls {
+			pass.Reportf(pos, "Version() read without a companion length read (Len()/len(rel.Tuples)) — relation caches must snapshot and check the (length, Version) pair")
+		}
+	}
+	if len(versionCalls) == 0 {
+		for _, pos := range lengthOnlyCompares {
+			pass.Reportf(pos, "relation length compared against cached state without checking Version() — an equal-length mutation (sort, in-place update) would pass this staleness check")
+		}
+	}
+}
+
+// isStoredState reports whether e looks like cached/snapshot state: a
+// selector on a non-relation value (e.g. entry.len) or a plain variable
+// of integer type that is not itself a fresh relation read. Literals and
+// relation-derived reads are not stored state.
+func isStoredState(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return !isRelationType(pass.TypeOf(e.X))
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			return false
+		}
+		// A constant is a literal threshold, not cached state.
+		_, isConst := obj.(*types.Const)
+		return !isConst
+	default:
+		return false
+	}
+}

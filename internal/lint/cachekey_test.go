@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestCacheKeyFixture(t *testing.T) {
+	testFixture(t, []*Analyzer{CacheKey}, "cachekey", "fixture/cachekey")
+}

@@ -1,0 +1,14 @@
+package lint
+
+import "testing"
+
+func TestCtxCheckFixture(t *testing.T) {
+	testFixture(t, []*Analyzer{CtxCheck}, "ctxcheck", "fixture/internal/engine/ctxfix")
+}
+
+// TestCtxCheckOutOfScope loads a drain-loop violation under a
+// non-execution import path: the scope regexp must keep utility and
+// tooling packages out of the contract.
+func TestCtxCheckOutOfScope(t *testing.T) {
+	testFixture(t, []*Analyzer{CtxCheck}, "ctxscope", "fixture/util/ctxscope")
+}

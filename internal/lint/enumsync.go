@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumSync enforces the strategy-enum synchronization contract
+// established by PR 2 (NumStrategies sizes the per-strategy metrics
+// arrays, with a loud-failure enum-sync test) and stressed every time a
+// strategy was added (PNJ in PR 2, PTA in PR 5): code indexed or sized
+// by a Strategy enum must stay mechanically in sync with the enum.
+//
+// Two rules:
+//
+//  1. A `switch` over a Strategy-typed value must either cover every
+//     declared constant of the enum or carry an explicit default clause
+//     — adding StrategyXYZ must not leave silent fallthrough holes.
+//  2. An array type that is indexed by (or keyed with) Strategy
+//     constants must take its length from the enum's NumStrategies-style
+//     constant, never from an integer literal that silently goes stale.
+var EnumSync = &Analyzer{
+	Name: "enumsync",
+	Doc: "Strategy switches must be exhaustive (or default); strategy-sized arrays must use the NumStrategies constant\n\n" +
+		"Adding an enum member must either be compile-checked (array bounds\n" +
+		"via NumStrategies) or flagged here (non-exhaustive switch without\n" +
+		"default).",
+	Run: runEnumSync,
+}
+
+// isStrategyType returns the named enum type when t is a (pointer to a)
+// named type called Strategy.
+func strategyType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Strategy" {
+		return nil
+	}
+	return named
+}
+
+// enumMembers lists the constants of the enum declared in its defining
+// package (NumStrategies-style untyped counters are excluded because
+// their type is not the enum).
+func enumMembers(named *types.Named) []*types.Const {
+	var members []*types.Const
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			members = append(members, c)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Val().String() < members[j].Val().String() })
+	return members
+}
+
+func runEnumSync(pass *Pass) error {
+	// Pass 1: find array types that are strategy-indexed or
+	// strategy-keyed anywhere in the package.
+	strategyArrays := collectStrategyArrays(pass)
+
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SwitchStmt:
+			checkStrategySwitch(pass, n)
+		case *ast.ArrayType:
+			checkArrayLen(pass, n, strategyArrays)
+		}
+		return true
+	})
+	return nil
+}
+
+func checkStrategySwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	named := strategyType(pass.TypeOf(sw.Tag))
+	if named == nil {
+		return
+	}
+	covered := make(map[string]bool)
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // explicit default: the enum may grow safely
+		}
+		for _, e := range clause.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.String()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, m := range enumMembers(named) {
+		if !covered[m.Val().String()] {
+			missing = append(missing, m.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Pos(), "switch over %s is not exhaustive and has no default: missing %s — a new strategy would fall through silently",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// collectStrategyArrays returns the array types the package indexes by a
+// Strategy-typed expression.
+func collectStrategyArrays(pass *Pass) []*types.Array {
+	var arrays []*types.Array
+	seen := func(a *types.Array) bool {
+		for _, b := range arrays {
+			if types.Identical(a, b) {
+				return true
+			}
+		}
+		return false
+	}
+	record := func(t types.Type) {
+		if t == nil {
+			return
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if arr, ok := t.Underlying().(*types.Array); ok && !seen(arr) {
+			arrays = append(arrays, arr)
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			if strategyType(pass.TypeOf(n.Index)) != nil {
+				record(pass.TypeOf(n.X))
+			}
+		case *ast.CompositeLit:
+			// [N]T{StrategyNJ: ..., StrategyTA: ...} — keyed by the enum.
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok && strategyType(pass.TypeOf(kv.Key)) != nil {
+					record(pass.TypeOf(n))
+					break
+				}
+			}
+		}
+		return true
+	})
+	return arrays
+}
+
+// checkArrayLen flags literal-sized array types that the package indexes
+// by Strategy, and literal-sized composite arrays keyed by Strategy
+// constants.
+func checkArrayLen(pass *Pass, at *ast.ArrayType, strategyArrays []*types.Array) {
+	lit, ok := at.Len.(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	t := pass.TypeOf(at)
+	if t == nil {
+		return
+	}
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return
+	}
+	for _, sa := range strategyArrays {
+		if types.Identical(arr, sa) {
+			pass.Reportf(at.Pos(), "array indexed by Strategy is sized with the literal %s — size it with the enum's NumStrategies-style constant so a new strategy grows it automatically",
+				lit.Value)
+			return
+		}
+	}
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestEnumSyncFixture(t *testing.T) {
+	testFixture(t, []*Analyzer{EnumSync}, "enumsync", "fixture/enumsync")
+}

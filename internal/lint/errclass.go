@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// CanonicalErrClasses is the wire error-class vocabulary established by
+// PR 6 (query log err_class) and PR 7 (admission "overloaded", budget
+// "budget"): every value that reaches Response.ErrClass,
+// QueryRecord.ErrClass or ServerError.ErrClass must come from this set
+// (or be empty, meaning success). Clients key retry behavior off these
+// strings (client.IsOverloaded → backoff-and-resend), dashboards key
+// alerts off them; a misspelled class silently breaks both.
+//
+// The authoritative constants live in internal/server/proto.go
+// (ErrClassOverloaded etc.); TestErrClassVocabularySync pins this list to
+// them so the analyzer and the wire cannot drift.
+var CanonicalErrClasses = []string{
+	"", "overloaded", "budget", "timeout", "canceled", "usage", "panic", "error",
+}
+
+// ErrClass enforces the error-class vocabulary on every syntactic
+// channel a class string can travel: assignments and composite-literal
+// values for fields named ErrClass, comparisons and switch cases against
+// such fields, and return values of errClass-named classifier functions.
+var ErrClass = &Analyzer{
+	Name: "errclass",
+	Doc: "wire error-class strings must come from the canonical vocabulary\n\n" +
+		"Values assigned to or compared with ErrClass fields, and returns of\n" +
+		"errClass classifier functions, must be members of the canonical set\n" +
+		"(see internal/server/proto.go). Clients and dashboards dispatch on\n" +
+		"these strings; an off-vocabulary literal is a silent contract break.",
+	Run: runErrClass,
+}
+
+func errClassOK(s string) bool {
+	for _, c := range CanonicalErrClasses {
+		if s == c {
+			return true
+		}
+	}
+	return false
+}
+
+func canonicalList() string {
+	var quoted []string
+	for _, c := range CanonicalErrClasses {
+		if c != "" {
+			quoted = append(quoted, `"`+c+`"`)
+		}
+	}
+	sort.Strings(quoted)
+	return strings.Join(quoted, ", ")
+}
+
+// constString returns the compile-time string value of e, if any.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isErrClassSel matches a selector for a field named ErrClass.
+func isErrClassSel(e ast.Expr) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "ErrClass"
+}
+
+func checkValue(pass *Pass, e ast.Expr, context string) {
+	if s, ok := constString(pass, e); ok && !errClassOK(s) {
+		pass.Reportf(e.Pos(), "%q is not a canonical error class %s — use one of %s (internal/server/proto.go)",
+			s, context, canonicalList())
+	}
+}
+
+func runErrClass(pass *Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if isErrClassSel(lhs) && i < len(n.Rhs) {
+					checkValue(pass, n.Rhs[i], "assigned to an ErrClass field")
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok && key.Name == "ErrClass" {
+				checkValue(pass, n.Value, "assigned to an ErrClass field")
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			if isErrClassSel(n.X) {
+				checkValue(pass, n.Y, "compared with an ErrClass field")
+			}
+			if isErrClassSel(n.Y) {
+				checkValue(pass, n.X, "compared with an ErrClass field")
+			}
+		case *ast.SwitchStmt:
+			if n.Tag == nil || !isErrClassSel(n.Tag) {
+				return true
+			}
+			for _, stmt := range n.Body.List {
+				if clause, ok := stmt.(*ast.CaseClause); ok {
+					for _, e := range clause.List {
+						checkValue(pass, e, "in a switch over an ErrClass field")
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			if n.Body == nil || !strings.EqualFold(n.Name.Name, "errClass") {
+				return true
+			}
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if ret, ok := inner.(*ast.ReturnStmt); ok {
+					for _, res := range ret.Results {
+						checkValue(pass, res, "returned by an error classifier")
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return nil
+}

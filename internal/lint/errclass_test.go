@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+
+	"tpjoin/internal/server"
+)
+
+func TestErrClassFixture(t *testing.T) {
+	testFixture(t, []*Analyzer{ErrClass}, "errclass", "fixture/errclass")
+}
+
+// TestErrClassVocabularySync pins the analyzer's canonical set to the
+// wire constants in internal/server/proto.go: the two lists cannot
+// drift without failing tier-1 tests. Order matters — both sides list
+// success ("") first, then the classes in severity-of-surprise order.
+func TestErrClassVocabularySync(t *testing.T) {
+	fromProto := []string{
+		"",
+		server.ErrClassOverloaded,
+		server.ErrClassBudget,
+		server.ErrClassTimeout,
+		server.ErrClassCanceled,
+		server.ErrClassUsage,
+		server.ErrClassPanic,
+		server.ErrClassError,
+	}
+	if !reflect.DeepEqual(CanonicalErrClasses, fromProto) {
+		t.Fatalf("lint.CanonicalErrClasses = %q, but internal/server/proto.go declares %q — update both sides together",
+			CanonicalErrClasses, fromProto)
+	}
+}

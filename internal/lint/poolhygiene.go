@@ -1,0 +1,518 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolHygiene enforces the pooled-buffer contract established by PR 2
+// (batch-buffer pool) and PR 5 (aligner arena pool): every value taken
+// from a sync.Pool — directly or through a getter wrapper like
+// getBatchBuf/newIndexedAligner — must have a release path back to the
+// same pool. Acceptable shapes, matching the repo's idiom:
+//
+//   - the acquiring function defers the matching Put (defer putBatchBuf(buf),
+//     defer al.release());
+//   - the value is handed off into a field of a type that owns a release
+//     method for the pool (j.buf = getBatchBuf(): the stream's own
+//     Close/exhaustion path puts it back);
+//   - the acquiring function returns the value, making it a getter
+//     wrapper whose callers carry the obligation;
+//   - a non-deferred Put that syntactically dominates every later return
+//     (put before the final return, no early return in between).
+//
+// Everything else — a dropped Get result, an early error return that
+// skips the Put, a pooled value stored into a map/slice/chan or a
+// non-owning struct — leaks the buffer or, worse, lets two queries share
+// one buffer after a double-checkout.
+var PoolHygiene = &Analyzer{
+	Name: "poolhygiene",
+	Doc: "sync.Pool values must be released on every path and must not escape\n\n" +
+		"Pool.Get results (including via getter wrappers) need a deferred Put,\n" +
+		"a handoff to a type that releases them, a dominating Put before every\n" +
+		"return, or to be returned to the caller. Storing pooled values into\n" +
+		"non-owning structures is an escape.",
+	Run: runPoolHygiene,
+}
+
+// poolFacts is the per-package classification the checker runs against.
+type poolFacts struct {
+	pools map[types.Object]bool // package-level sync.Pool vars
+	// getters maps a function object to the pool its return value is
+	// checked out of; putters maps a function object to the pool it
+	// releases to. Both are transitive (a wrapper of a getter is a
+	// getter).
+	getters map[*types.Func]types.Object
+	putters map[*types.Func]types.Object
+	// putterNames maps putter *method names* to their pool: calls through
+	// an interface (al.release() on the aligner interface) resolve to the
+	// interface's method object, not the concrete putter, so they are
+	// matched by name.
+	putterNames map[string]types.Object
+	// releasers maps a named type to the pool some method of it puts to:
+	// assigning a pooled value into a field of such a type is a handoff,
+	// not an escape.
+	releasers map[*types.TypeName]types.Object
+}
+
+func runPoolHygiene(pass *Pass) error {
+	facts := collectPoolFacts(pass)
+	if len(facts.pools) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolUse(pass, facts, fd)
+		}
+	}
+	return nil
+}
+
+// collectPoolFacts finds the package's pools and computes the
+// getter/putter/releaser closure.
+func collectPoolFacts(pass *Pass) *poolFacts {
+	facts := &poolFacts{
+		pools:       make(map[types.Object]bool),
+		getters:     make(map[*types.Func]types.Object),
+		putters:     make(map[*types.Func]types.Object),
+		putterNames: make(map[string]types.Object),
+		releasers:   make(map[*types.TypeName]types.Object),
+	}
+	// Package-level sync.Pool variables.
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if v, ok := scope.Lookup(name).(*types.Var); ok && isSyncPool(v.Type()) {
+			facts.pools[v] = true
+		}
+	}
+	if len(facts.pools) == 0 {
+		return facts
+	}
+
+	// Seed: functions that call P.Put directly are putters; functions
+	// that return a value derived from P.Get are getters. Then iterate:
+	// callers of putters are putters, return-forwarders of getters are
+	// getters — until fixed point (two passes suffice for any sane depth,
+	// but loop to be safe).
+	decls := packageFuncDecls(pass)
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if _, done := facts.putters[fn]; !done {
+				if p := directPutPool(pass, facts, fd); p != nil {
+					facts.putters[fn] = p
+					changed = true
+				}
+			}
+			if _, done := facts.getters[fn]; !done {
+				if p := returnedPoolValue(pass, facts, fd); p != nil {
+					facts.getters[fn] = p
+					changed = true
+				}
+			}
+		}
+	}
+	for fn, pool := range facts.putters {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if tn := namedTypeName(recv.Type()); tn != nil {
+				facts.releasers[tn] = pool
+			}
+			facts.putterNames[fn.Name()] = pool
+		}
+	}
+	return facts
+}
+
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t != nil && t.String() == "sync.Pool"
+}
+
+func namedTypeName(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// packageFuncDecls maps each function object to its declaration.
+func packageFuncDecls(pass *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// calleeFunc resolves a call's target to a function object, if static.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// poolOfGetCall returns the pool a call checks a value out of: P.Get()
+// on a known pool, or a call to a known getter. nil otherwise.
+func poolOfGetCall(pass *Pass, facts *poolFacts, call *ast.CallExpr) types.Object {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Get" {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && facts.pools[obj] {
+				return obj
+			}
+		}
+	}
+	if fn := calleeFunc(pass, call); fn != nil {
+		if p, ok := facts.getters[fn]; ok {
+			return p
+		}
+	}
+	return nil
+}
+
+// poolOfPutCall returns the pool a call releases to (P.Put or a putter).
+func poolOfPutCall(pass *Pass, facts *poolFacts, call *ast.CallExpr) types.Object {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Put" {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil && facts.pools[obj] {
+				return obj
+			}
+		}
+	}
+	if fn := calleeFunc(pass, call); fn != nil {
+		if p, ok := facts.putters[fn]; ok {
+			return p
+		}
+		// Interface dispatch: a release method invoked through an
+		// interface resolves to the interface's method object; match it to
+		// the concrete putters by name.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if types.IsInterface(sig.Recv().Type()) {
+				if p, ok := facts.putterNames[fn.Name()]; ok {
+					return p
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// directPutPool reports the pool fd releases to, if any.
+func directPutPool(pass *Pass, facts *poolFacts, fd *ast.FuncDecl) types.Object {
+	var pool types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if pool != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if p := poolOfPutCall(pass, facts, call); p != nil {
+				pool = p
+			}
+		}
+		return true
+	})
+	return pool
+}
+
+// returnedPoolValue reports the pool whose checked-out value fd returns,
+// if any: `return P.Get().(T)`, `return getter(...)`, or returning a
+// local bound to either.
+func returnedPoolValue(pass *Pass, facts *poolFacts, fd *ast.FuncDecl) types.Object {
+	pooledVars := pooledLocals(pass, facts, fd)
+	var pool types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if pool != nil {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if p := poolOfExpr(pass, facts, pooledVars, res); p != nil {
+				pool = p
+			}
+		}
+		return true
+	})
+	return pool
+}
+
+// pooledLocals maps local variables to the pool their value came from
+// (x := P.Get().(T), x := getter()).
+func pooledLocals(pass *Pass, facts *poolFacts, fd *ast.FuncDecl) map[types.Object]types.Object {
+	vars := make(map[types.Object]types.Object)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			p := poolOfExpr(pass, facts, vars, rhs)
+			if p == nil {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.ObjectOf(id); obj != nil {
+					vars[obj] = p
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// poolOfExpr resolves the pool an expression's value was checked out of:
+// an acquisition call (possibly behind a type assertion) or a tracked
+// local.
+func poolOfExpr(pass *Pass, facts *poolFacts, vars map[types.Object]types.Object, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return poolOfGetCall(pass, facts, e)
+	case *ast.TypeAssertExpr:
+		return poolOfExpr(pass, facts, vars, e.X)
+	case *ast.Ident:
+		if obj := pass.Info.Uses[e]; obj != nil {
+			return vars[obj]
+		}
+	}
+	return nil
+}
+
+// checkPoolUse verifies one function's acquisitions.
+func checkPoolUse(pass *Pass, facts *poolFacts, fd *ast.FuncDecl) {
+	parents := buildParents(fd)
+	paths := stmtPaths(fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pool := poolOfGetCall(pass, facts, call)
+		if pool == nil {
+			return true
+		}
+		// Climb through a type assertion to the acquisition's real
+		// consumer.
+		var node ast.Node = call
+		parent := parents[node]
+		if pa, ok := parent.(*ast.TypeAssertExpr); ok {
+			node, parent = pa, parents[pa]
+		}
+		switch p := parent.(type) {
+		case *ast.ReturnStmt:
+			// Getter wrapper: the caller owns the value now.
+			return true
+		case *ast.AssignStmt:
+			lhs := assignTargetFor(p, node)
+			switch lhs := lhs.(type) {
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					pass.Reportf(call.Pos(), "value checked out of %s is discarded — it can never be released", pool.Name())
+					return true
+				}
+				obj := pass.ObjectOf(lhs)
+				if obj == nil {
+					return true
+				}
+				checkLocalRelease(pass, facts, fd, parents, paths, call, obj, pool)
+			case *ast.SelectorExpr:
+				// Field handoff: the owning type must release to the pool.
+				if tn := namedTypeName(pass.TypeOf(lhs.X)); tn == nil || facts.releasers[tn] != pool {
+					pass.Reportf(call.Pos(), "value checked out of %s is stored in a type with no release path back to the pool", pool.Name())
+				}
+			default:
+				pass.Reportf(call.Pos(), "value checked out of %s escapes into a container — pooled buffers must stay function- or struct-owned", pool.Name())
+			}
+		default:
+			pass.Reportf(call.Pos(), "result of checking out of %s is not bound to a variable, returned or handed off — it can never be released", pool.Name())
+		}
+		return true
+	})
+}
+
+// assignTargetFor returns the LHS expression matching rhs in as.
+func assignTargetFor(as *ast.AssignStmt, rhs ast.Node) ast.Expr {
+	for i, r := range as.Rhs {
+		if r == rhs && i < len(as.Lhs) {
+			return as.Lhs[i]
+		}
+	}
+	if len(as.Lhs) == 1 {
+		return as.Lhs[0]
+	}
+	return nil
+}
+
+// checkLocalRelease verifies that local variable obj, checked out of
+// pool at acq, is released on every path: deferred put, handoff into a
+// releaser type, returned to the caller, or a dominating put before each
+// later return. It also flags escapes into containers.
+func checkLocalRelease(pass *Pass, facts *poolFacts, fd *ast.FuncDecl, parents parentMap,
+	paths map[ast.Stmt][]blockStep, acq *ast.CallExpr, obj types.Object, pool types.Object) {
+
+	usesObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.Info.Uses[id] == obj
+	}
+	var deferred, handedOff, returned bool
+	var releasePaths [][]blockStep
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if poolOfPutCall(pass, facts, n.Call) == pool && callReferences(pass, n.Call, obj) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if poolOfPutCall(pass, facts, n) == pool && callReferences(pass, n, obj) {
+				if _, isDefer := parents[n].(*ast.DeferStmt); !isDefer {
+					if s := parents.enclosingStmt(n); s != nil {
+						releasePaths = append(releasePaths, paths[s])
+					}
+				}
+			}
+			// Escape: pooled value appended into a slice.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				for _, arg := range n.Args[1:] {
+					if usesObj(arg) {
+						pass.Reportf(arg.Pos(), "pooled value from %s escapes via append — the pool may hand it to another query while it is still referenced", pool.Name())
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesObj(res) {
+					returned = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !usesObj(rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				switch lhs := n.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					if tn := namedTypeName(pass.TypeOf(lhs.X)); tn != nil && facts.releasers[tn] == pool {
+						handedOff = true
+					} else {
+						pass.Reportf(rhs.Pos(), "pooled value from %s is stored in a type with no release path back to the pool", pool.Name())
+					}
+				case *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(), "pooled value from %s escapes into an indexed container", pool.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if usesObj(n.Value) {
+				pass.Reportf(n.Value.Pos(), "pooled value from %s escapes over a channel", pool.Name())
+			}
+		}
+		return true
+	})
+
+	if deferred || handedOff || returned {
+		return
+	}
+	if len(releasePaths) == 0 {
+		pass.Reportf(acq.Pos(), "value checked out of %s is never released (no Put, no defer, no handoff, not returned)", pool.Name())
+		return
+	}
+	// Non-deferred release: every return after the acquisition must be
+	// dominated by one. The end of a function falling off the final brace
+	// counts as a return point.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() < acq.Pos() {
+			return true
+		}
+		retPath := paths[ret]
+		covered := false
+		for _, rp := range releasePaths {
+			if dominates(rp, retPath) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(ret.Pos(), "return without releasing the value checked out of %s at %s (add a defer, or Put before this return)",
+				pool.Name(), pass.Fset.Position(acq.Pos()))
+		}
+		return true
+	})
+	// Falling off the end of the body: covered when some release sits at
+	// the body's top level after the acquisition.
+	if !terminatesWithReturn(fd.Body) {
+		endPath := []blockStep{{fd.Body, len(fd.Body.List)}}
+		covered := false
+		for _, rp := range releasePaths {
+			if dominates(rp, endPath) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(fd.Body.Rbrace, "function ends without releasing the value checked out of %s at %s",
+				pool.Name(), pass.Fset.Position(acq.Pos()))
+		}
+	}
+}
+
+// callReferences reports whether the call mentions obj as an argument or
+// as its receiver (al.release()).
+func callReferences(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// terminatesWithReturn reports whether the block's last statement is a
+// return or a panic-like terminator.
+func terminatesWithReturn(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		// `for { ... }` with no condition never falls through.
+		return last.Cond == nil
+	}
+	return false
+}

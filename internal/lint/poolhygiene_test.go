@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestPoolHygieneFixture(t *testing.T) {
+	testFixture(t, []*Analyzer{PoolHygiene}, "poolhygiene", "fixture/poolhygiene")
+}

@@ -1,0 +1,67 @@
+// Package cachefix exercises the cachekey analyzer: relation-derived
+// cache entries must snapshot and re-check the (length, Version) pair.
+// Relation mirrors tp.Relation's cache-relevant surface.
+package cachefix
+
+type Tuple struct{ Key string }
+
+type Relation struct {
+	Tuples  []Tuple
+	version uint64
+}
+
+func (r *Relation) Version() uint64 { return r.version }
+func (r *Relation) Len() int        { return len(r.Tuples) }
+
+type entry struct {
+	n       int
+	version uint64
+	cost    float64
+}
+
+// lookupOK validates on the full pair: conforming.
+func lookupOK(c map[string]*entry, key string, r *Relation) (float64, bool) {
+	e, ok := c[key]
+	if !ok || e.n != r.Len() || e.version != r.Version() {
+		return 0, false
+	}
+	return e.cost, true
+}
+
+// lookupOKTuples uses the len(rel.Tuples) spelling of the length read.
+func lookupOKTuples(c map[string]*entry, key string, r *Relation) (float64, bool) {
+	e, ok := c[key]
+	if !ok || e.n != len(r.Tuples) || e.version != r.Version() {
+		return 0, false
+	}
+	return e.cost, true
+}
+
+// snapshotOK stores both halves of the key: conforming.
+func snapshotOK(c map[string]*entry, key string, r *Relation, cost float64) {
+	c[key] = &entry{n: r.Len(), version: r.Version(), cost: cost}
+}
+
+// lookupStale validates on length alone — the PR 8 stale-plan bug: an
+// equal-length mutation (sort, in-place update) passes this check.
+func lookupStale(c map[string]*entry, key string, r *Relation) (float64, bool) {
+	e, ok := c[key]
+	if !ok || e.n != r.Len() { // want "cachekey: relation length compared against cached state without checking Version"
+		return 0, false
+	}
+	return e.cost, true
+}
+
+// snapshotHalf records Version with no companion length read.
+func snapshotHalf(c map[string]*entry, key string, r *Relation) {
+	c[key] = &entry{version: r.Version()} // want "cachekey: Version.. read without a companion length read"
+}
+
+// emptiness and relative-size checks are not staleness checks:
+// conforming.
+func isEmpty(r *Relation) bool      { return r.Len() == 0 }
+func sameSize(r, s *Relation) bool  { return r.Len() == s.Len() }
+func tinyInput(r *Relation) bool    { return len(r.Tuples) == smallRelation }
+func halfOf(r *Relation, n int) int { return n / max(r.Len(), 1) }
+
+const smallRelation = 64

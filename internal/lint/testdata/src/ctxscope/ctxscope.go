@@ -1,0 +1,25 @@
+// Package ctxscope holds a shape ctxcheck would flag — a drain loop
+// with an unobserved context — but is loaded under a non-execution
+// import path (fixture/util/ctxscope): the analyzer's scope regexp must
+// keep it silent. Utility and tooling packages are allowed to block.
+package ctxscope
+
+import "context"
+
+type Operator interface {
+	Next() (int, bool, error)
+}
+
+func drainOutOfScope(ctx context.Context, op Operator) (n int, err error) {
+	_ = ctx
+	for {
+		_, ok, err := op.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}

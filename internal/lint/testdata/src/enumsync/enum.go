@@ -1,0 +1,76 @@
+// Package enumfix exercises the enumsync analyzer with a miniature of
+// engine.Strategy: typed iota members, an untyped NumStrategies
+// counter, strategy-indexed arrays and switches over the enum.
+package enumfix
+
+type Strategy uint8
+
+const (
+	StrategyNJ Strategy = iota
+	StrategyTA
+	StrategyPNJ
+	// NumStrategies counts the members above; untyped, like
+	// engine.NumStrategies.
+	NumStrategies = iota
+)
+
+// name covers every member: conforming.
+func name(s Strategy) string {
+	switch s {
+	case StrategyNJ:
+		return "nj"
+	case StrategyTA:
+		return "ta"
+	case StrategyPNJ:
+		return "pnj"
+	}
+	return "?"
+}
+
+// pick carries an explicit default — the enum may grow safely. This is
+// the shape the bench AUTO-series switch (internal/bench/json.go) was
+// fixed into by this PR: a regression here means the fix's idiom stopped
+// being accepted.
+func pick(s Strategy) bool {
+	switch s {
+	case StrategyTA:
+		return true
+	default:
+		// every other strategy, current or future, is not TA.
+		return false
+	}
+}
+
+// incomplete misses StrategyPNJ with no default: the silent-fallthrough
+// hole enumsync exists for (the pre-fix bench switch shape).
+func incomplete(s Strategy) string {
+	switch s { // want "enumsync: switch over Strategy is not exhaustive and has no default: missing StrategyPNJ"
+	case StrategyNJ:
+		return "nj"
+	case StrategyTA:
+		return "ta"
+	}
+	return "?"
+}
+
+// perStrategyOK takes its size from the counter: adding a member grows
+// it automatically.
+var perStrategyOK [NumStrategies]int64
+
+func bumpOK(s Strategy) { perStrategyOK[s]++ }
+
+// perStrategyBad is strategy-indexed but literal-sized: a new member
+// would index out of range (or worse, silently alias) at runtime.
+var perStrategyBad [3]int64 // want "enumsync: array indexed by Strategy is sized with the literal 3"
+
+func bumpBad(s Strategy) { perStrategyBad[s]++ }
+
+// costsBad is keyed by the enum in its composite literal but sized by a
+// literal.
+var costsBad = [3]float64{StrategyNJ: 1, StrategyTA: 2, StrategyPNJ: 4} // want "enumsync: array indexed by Strategy is sized with the literal 3"
+
+// unrelated is the same length but never touched by a Strategy: out of
+// the analyzer's reach.
+var unrelated [3]string
+
+func fill() { unrelated[0] = "x" }

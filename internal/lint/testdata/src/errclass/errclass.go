@@ -1,0 +1,73 @@
+// Package errfix exercises the errclass analyzer: every syntactic
+// channel an error-class string travels (field assignment, composite
+// literal, comparison, switch case, classifier return) must carry a
+// member of the canonical vocabulary.
+package errfix
+
+import "errors"
+
+type Response struct {
+	ErrClass string
+}
+
+type QueryRecord struct {
+	ErrClass string
+}
+
+// Canonical values through every channel: conforming.
+func setOK(r *Response) { r.ErrClass = "timeout" }
+func litOK() Response   { return Response{ErrClass: "budget"} }
+func cmpOK(r *Response) bool {
+	return r.ErrClass == "overloaded" || r.ErrClass != "canceled"
+}
+func recOK() QueryRecord { return QueryRecord{ErrClass: ""} }
+
+func switchOK(r *Response) int {
+	switch r.ErrClass {
+	case "", "usage":
+		return 0
+	case "panic", "error":
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Off-vocabulary literals: each one is a silent contract break for
+// clients dispatching on the string.
+func setBad(r *Response) {
+	r.ErrClass = "time-out" // want "errclass: \"time-out\" is not a canonical error class"
+}
+
+func litBad() Response {
+	return Response{ErrClass: "oom"} // want "errclass: \"oom\" is not a canonical error class"
+}
+
+func cmpBad(r *Response) bool {
+	return r.ErrClass == "overload" // want "errclass: \"overload\" is not a canonical error class"
+}
+
+func switchBad(r *Response) int {
+	switch r.ErrClass {
+	case "timeout":
+		return 1
+	case "dead": // want "errclass: \"dead\" is not a canonical error class"
+		return 2
+	}
+	return 0
+}
+
+// errClass mirrors the server's classifier: its returns are on the
+// wire.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, errTooBig):
+		return "budget"
+	default:
+		return "failure" // want "errclass: \"failure\" is not a canonical error class"
+	}
+}
+
+var errTooBig = errors.New("too big")

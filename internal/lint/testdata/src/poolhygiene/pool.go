@@ -1,0 +1,107 @@
+// Package poolfix exercises the poolhygiene analyzer: a sync.Pool with
+// getter/putter wrappers in the repo's idiom (core.batchPool,
+// align.alignerPool), conforming release shapes, and every escape and
+// leak the analyzer must catch.
+package poolfix
+
+import (
+	"errors"
+	"sync"
+)
+
+type buffer struct{ data []byte }
+
+var bufPool = sync.Pool{New: func() any { return new(buffer) }}
+
+// getBuf is a getter wrapper: returning the checked-out value hands the
+// release obligation to the caller.
+func getBuf() *buffer { return bufPool.Get().(*buffer) }
+
+func putBuf(b *buffer) {
+	b.data = b.data[:0]
+	bufPool.Put(b)
+}
+
+// okDefer releases through the canonical defer.
+func okDefer() int {
+	b := getBuf()
+	defer putBuf(b)
+	return len(b.data)
+}
+
+// okDominatingPut releases with a plain Put that dominates the only
+// return.
+func okDominatingPut() int {
+	b := getBuf()
+	n := len(b.data)
+	putBuf(b)
+	return n
+}
+
+// okCheckout is itself a getter wrapper (returns the pooled value).
+func okCheckout() *buffer {
+	b := getBuf()
+	b.data = b.data[:0]
+	return b
+}
+
+// stream owns its buffer: Close is its release path, so handing a
+// pooled buffer into stream.buf is a handoff, not an escape.
+type stream struct{ buf *buffer }
+
+func (s *stream) Close() {
+	if s.buf != nil {
+		putBuf(s.buf)
+		s.buf = nil
+	}
+}
+
+func newStream() *stream {
+	s := &stream{}
+	s.buf = getBuf()
+	return s
+}
+
+// leak drops the buffer on the floor.
+func leak() int {
+	b := getBuf() // want "poolhygiene: value checked out of bufPool is never released"
+	return len(b.data)
+}
+
+// leakOnError releases on the happy path but not on the error return —
+// the early-exit leak the analyzer exists for.
+func leakOnError(fail bool) error {
+	b := getBuf()
+	if fail {
+		return errors.New("boom") // want "poolhygiene: return without releasing the value checked out of bufPool"
+	}
+	putBuf(b)
+	return nil
+}
+
+// discard can never release what it checked out.
+func discard() {
+	_ = bufPool.Get() // want "poolhygiene: value checked out of bufPool is discarded"
+}
+
+var retained []*buffer
+
+// escapeAppend retains the pooled value in a package-level slice: the
+// pool may hand the same buffer to another query while it is live.
+func escapeAppend() {
+	b := getBuf()                  // want "poolhygiene: value checked out of bufPool is never released"
+	retained = append(retained, b) // want "poolhygiene: pooled value from bufPool escapes via append"
+}
+
+// holder has no release method: storing a pooled value in it strands
+// the buffer.
+type holder struct{ b *buffer }
+
+func escapeField(h *holder) {
+	h.b = getBuf() // want "poolhygiene: value checked out of bufPool is stored in a type with no release path"
+}
+
+func escapeChan(ch chan *buffer) {
+	b := getBuf() // want "poolhygiene: value checked out of bufPool is never released"
+	ch <- b       // want "poolhygiene: pooled value from bufPool escapes over a channel"
+}

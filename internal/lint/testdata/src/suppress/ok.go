@@ -1,0 +1,26 @@
+// Package supfix holds a real ctxcheck violation silenced by a
+// well-formed suppression: the fixture must produce zero diagnostics —
+// the finding is suppressed and the suppression is used (so no
+// stale-ignore complaint either).
+package supfix
+
+import "context"
+
+type Operator interface {
+	Next() (int, bool, error)
+}
+
+// drainSuppressed blocks deliberately; the suppression documents why
+// that is acceptable here.
+func drainSuppressed(ctx context.Context, op Operator) int {
+	_ = ctx
+	n := 0
+	//tplint:ignore ctxcheck fixture demonstrates an accepted, documented violation
+	for {
+		_, ok, _ := op.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}

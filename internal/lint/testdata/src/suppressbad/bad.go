@@ -1,0 +1,56 @@
+// Package supbad holds every way a suppression can be wrong: a missing
+// reason (the violation it meant to cover must still be reported, plus
+// a malformed-suppression diagnostic), an unknown analyzer name, and a
+// well-formed suppression covering nothing. lint_test.go asserts the
+// exact diagnostics — want comments cannot sit on directive lines, so
+// this fixture is checked directly rather than through the runner.
+package supbad
+
+import "context"
+
+type Operator interface {
+	Next() (int, bool, error)
+}
+
+// missingReason: the ignore has no written reason, so it suppresses
+// nothing and is itself reported.
+func missingReason(ctx context.Context, op Operator) int {
+	_ = ctx
+	n := 0
+	//tplint:ignore ctxcheck
+	for {
+		_, ok, _ := op.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// unknownAnalyzer names an analyzer that does not exist.
+func unknownAnalyzer(ctx context.Context, op Operator) int {
+	_ = ctx
+	n := 0
+	//tplint:ignore nosuchanalyzer the loop below is fine
+	for {
+		_, ok, _ := op.Next()
+		if !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// unusedSuppression is well-formed but the loop below it violates
+// nothing: stale ignores must not accumulate.
+func unusedSuppression(ctx context.Context, xs []int) int {
+	s := 0
+	if err := ctx.Err(); err != nil {
+		return 0
+	}
+	//tplint:ignore ctxcheck this loop does not even drain anything
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// parentMap records each node's syntactic parent within one subtree.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(root ast.Node) parentMap {
+	pm := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			pm[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return pm
+}
+
+// enclosingStmt returns the innermost statement containing n (or n
+// itself when n is a statement).
+func (pm parentMap) enclosingStmt(n ast.Node) ast.Stmt {
+	for n != nil {
+		if s, ok := n.(ast.Stmt); ok {
+			return s
+		}
+		n = pm[n]
+	}
+	return nil
+}
+
+// blockStep is one hop of a statement path: the statement list the node
+// sits in (identified by the slice's owning node) and its index there.
+type blockStep struct {
+	owner ast.Node // *ast.BlockStmt, *ast.CaseClause or *ast.CommClause
+	index int
+}
+
+// stmtPaths maps every statement in a function body to its chain of
+// (statement list, index) hops from the body downward. Used for the
+// syntactic-dominance approximation: a release at path P covers a return
+// at path R when P's final hop lands in a block on R's chain at an
+// earlier index — i.e. the release ran on every straight-line route to
+// that return.
+func stmtPaths(body *ast.BlockStmt) map[ast.Stmt][]blockStep {
+	paths := make(map[ast.Stmt][]blockStep)
+	var walkList func(owner ast.Node, list []ast.Stmt, prefix []blockStep)
+	var walkStmt func(s ast.Stmt, path []blockStep)
+
+	walkList = func(owner ast.Node, list []ast.Stmt, prefix []blockStep) {
+		for i, s := range list {
+			step := append(append([]blockStep(nil), prefix...), blockStep{owner, i})
+			walkStmt(s, step)
+		}
+	}
+	walkStmt = func(s ast.Stmt, path []blockStep) {
+		paths[s] = path
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			walkList(s, s.List, path)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkStmt(s.Init, path)
+			}
+			walkStmt(s.Body, path)
+			if s.Else != nil {
+				walkStmt(s.Else, path)
+			}
+		case *ast.ForStmt:
+			walkStmt(s.Body, path)
+		case *ast.RangeStmt:
+			walkStmt(s.Body, path)
+		case *ast.SwitchStmt:
+			walkStmt(s.Body, path)
+		case *ast.TypeSwitchStmt:
+			walkStmt(s.Body, path)
+		case *ast.SelectStmt:
+			walkStmt(s.Body, path)
+		case *ast.CaseClause:
+			walkList(s, s.Body, path)
+		case *ast.CommClause:
+			walkList(s, s.Body, path)
+		case *ast.LabeledStmt:
+			walkStmt(s.Stmt, path)
+		}
+	}
+	walkList(body, body.List, nil)
+	return paths
+}
+
+// dominates reports whether a statement at relPath runs before — on
+// every straight-line path — a statement at retPath: its last hop's
+// statement list appears on retPath's chain at a strictly earlier index,
+// and every hop above it matches.
+func dominates(relPath, retPath []blockStep) bool {
+	if len(relPath) == 0 || len(relPath) > len(retPath) {
+		return false
+	}
+	for i := 0; i < len(relPath)-1; i++ {
+		if relPath[i] != retPath[i] {
+			return false
+		}
+	}
+	last := relPath[len(relPath)-1]
+	at := retPath[len(relPath)-1]
+	return last.owner == at.owner && last.index < at.index
+}

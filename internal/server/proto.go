@@ -67,6 +67,34 @@ type Row struct {
 	Prob    float64  `json:"p"`
 }
 
+// The canonical Response.ErrClass vocabulary. Clients dispatch retry
+// behavior on these strings (client.IsOverloaded), the query log and
+// dashboards key alerts off them, so the set only ever grows — never
+// rename a member. tplint's errclass analyzer rejects any other string
+// flowing into an ErrClass field; packages below server in the import
+// graph (internal/obs) repeat the literals and rely on that analyzer
+// plus TestErrClassVocabularySync to stay in step.
+const (
+	// ErrClassOverloaded: rejected by admission control before any
+	// planning — the statement never ran, safe to retry with backoff.
+	ErrClassOverloaded = "overloaded"
+	// ErrClassBudget: the query exceeded its SET memory_budget.
+	ErrClassBudget = "budget"
+	// ErrClassTimeout: the statement's deadline expired mid-run.
+	ErrClassTimeout = "timeout"
+	// ErrClassCanceled: the query context was canceled (client gone,
+	// server draining).
+	ErrClassCanceled = "canceled"
+	// ErrClassUsage: malformed statement or unknown command; the message
+	// is a usage line, not an error.
+	ErrClassUsage = "usage"
+	// ErrClassPanic: the engine panicked and containment converted it to
+	// this query's error.
+	ErrClassPanic = "panic"
+	// ErrClassError: every other evaluation failure.
+	ErrClassError = "error"
+)
+
 // Response is one server → client message.
 type Response struct {
 	ID    uint64 `json:"id"`

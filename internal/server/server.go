@@ -575,19 +575,19 @@ func errClass(err error) string {
 		return ""
 	case isOverload(err):
 		// Retryable: the statement never ran; tpcli backs off and resends.
-		return "overloaded"
+		return ErrClassOverloaded
 	case mem.IsBudget(err):
-		return "budget"
+		return ErrClassBudget
 	case errors.Is(err, context.DeadlineExceeded):
-		return "timeout"
+		return ErrClassTimeout
 	case errors.Is(err, context.Canceled):
-		return "canceled"
+		return ErrClassCanceled
 	case shell.IsUsageError(err):
-		return "usage"
+		return ErrClassUsage
 	case shell.IsPanicError(err):
-		return "panic"
+		return ErrClassPanic
 	default:
-		return "error"
+		return ErrClassError
 	}
 }
 
