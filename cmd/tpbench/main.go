@@ -49,7 +49,7 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7 or all")
+		fig        = flag.String("fig", "all", "figure to run: 5, 6, 7, probagg or all")
 		ds         = flag.String("dataset", "both", "dataset: webkit, meteo or both")
 		sizesStr   = flag.String("sizes", "", "comma-separated input sizes (total tuples), overrides defaults")
 		seed       = flag.Int64("seed", 1, "dataset generation seed")
@@ -133,10 +133,10 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		figs := []string{"5", "6", "7", "prepared"}
+		figs := []string{"5", "6", "7", "prepared", "probagg"}
 		switch *fig {
 		case "all":
-		case "5", "6", "7", "prepared":
+		case "5", "6", "7", "prepared", "probagg":
 			figs = []string{*fig}
 		default:
 			fmt.Fprintf(os.Stderr, "tpbench: unknown figure %q\n", *fig)
@@ -175,6 +175,8 @@ func main() {
 		jobs = []job{{"6", bench.Fig6}}
 	case "7":
 		jobs = []job{{"7", bench.Fig7}}
+	case "probagg":
+		jobs = []job{{"P", bench.ProbAgg}}
 	default:
 		fmt.Fprintf(os.Stderr, "tpbench: unknown figure %q\n", *fig)
 		os.Exit(2)

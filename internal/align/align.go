@@ -86,11 +86,24 @@ type Config struct {
 type Stats struct {
 	// Fragments is the total fragment count across alignment passes.
 	Fragments int64
-	// AlignPasses is how many times the two conventional joins ran.
+	// AlignPasses is how many times the two conventional joins ran. The
+	// streaming path (stream.go) merges both sub-queries of a negation
+	// join into one fused drain, so an indexed left outer join reports 1
+	// where the reference reports 2.
 	AlignPasses int64
 	// Rows is the output row count before the duplicate-eliminating
-	// union.
+	// union (the rows actually materialized).
 	Rows int64
+	// DupAvoided counts unmatched fragments whose duplicate second
+	// materialization the streaming union killed at the merge frontier —
+	// rows the reference path materializes, sorts and then eliminates.
+	DupAvoided int64
+	// ProbBatches is how many probability batches the batched evaluation
+	// tail served; MemoHits how many sub-lineages it answered from the
+	// shared memo instead of re-evaluating. Both are zero on the scalar
+	// reference path.
+	ProbBatches int64
+	MemoHits    int64
 	// Workers is the effective worker count of a ParallelJoin (0 for the
 	// sequential baseline).
 	Workers int64
@@ -608,53 +621,6 @@ func finish(name string, attrs []string, probs prob.Probs, rows []row) *tp.Relat
 	return rel
 }
 
-// countRows sizes one alignment pass without forming rows: the row count
-// of sub-query A (pairings plus unmatched) and of sub-query B (one row
-// per fragment). The counting drain reuses the pass's index, so sizing
-// costs a fragment enumeration — cheap next to lineage and probability
-// work — and the row buffers below then grow exactly once.
-func countRows(ctx context.Context, al aligner, r *tp.Relation) (outRows, frags int, err error) {
-	err = al.drain(ctx, r, func(ri int, t interval.Interval, cover []int32) error {
-		frags++
-		if len(cover) == 0 {
-			outRows++
-		} else {
-			outRows += len(cover)
-		}
-		return nil
-	})
-	return outRows, frags, err
-}
-
-// presizeRows allocates the pre-union row buffer for a join over al,
-// counting the pass only when the aligner makes counting nearly free.
-// The capacity is clamped: a pathological workload can report billions of
-// rows, and a cancellation must get the chance to fire during row
-// production rather than inside one giant allocation. Beyond the clamp,
-// append growth takes over.
-func presizeRows(ctx context.Context, al aligner, r *tp.Relation) ([]row, error) {
-	if !al.cheapCount() {
-		return nil, nil
-	}
-	outN, frags, err := countRows(ctx, al, r)
-	if err != nil {
-		return nil, err
-	}
-	n := outN + frags
-	const maxPresize = 1 << 20
-	if n > maxPresize {
-		n = maxPresize
-	}
-	// The presized buffer is the TA baseline's big result-side allocation;
-	// charge it against the query's memory budget before committing to it.
-	// (Growth past the presize clamp tracks the final result cardinality,
-	// which the result-drain checkpoints charge tuple-wise.)
-	if err := mem.FromContext(ctx).Charge(int64(n) * int64(unsafe.Sizeof(row{}))); err != nil {
-		return nil, err
-	}
-	return make([]row, 0, n), nil
-}
-
 func joinAttrs(r, s *tp.Relation) []string {
 	attrs := make([]string, 0, len(r.Attrs)+len(s.Attrs))
 	attrs = append(attrs, r.Attrs...)
@@ -672,6 +638,9 @@ func InnerJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
 func innerJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
 	al := newAligner(s, theta, cfg)
 	defer al.release()
+	if al.cheapCount() {
+		return streamInner(ctx, al, r, s, stats)
+	}
 	outer, err := outerRowsStream(ctx, al, r, s, cfg, false, stats, nil)
 	if err != nil {
 		return nil, err
@@ -696,6 +665,9 @@ func AntiJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
 func antiJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
 	al := newAligner(s, theta, cfg)
 	defer al.release()
+	if al.cheapCount() {
+		return streamAnti(ctx, al, r, s, stats)
+	}
 	neg, err := negRowsStream(ctx, al, r, s, cfg, false, true, stats, nil)
 	if err != nil {
 		return nil, err
@@ -716,11 +688,11 @@ func LeftOuterJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
 func leftOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
 	al := newAligner(s, theta, cfg)
 	defer al.release()
-	buf, err := presizeRows(ctx, al, r)
-	if err != nil {
-		return nil, err
+	if al.cheapCount() {
+		return streamOuter(ctx, al, r, s, false,
+			fmt.Sprintf("%s_louter_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), stats)
 	}
-	rows, err := outerRowsStream(ctx, al, r, s, cfg, false, stats, buf)
+	rows, err := outerRowsStream(ctx, al, r, s, cfg, false, stats, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -742,11 +714,11 @@ func rightOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, c
 	swapped := tp.Swap(theta)
 	al := newAligner(r, swapped, cfg)
 	defer al.release()
-	buf, err := presizeRows(ctx, al, s)
-	if err != nil {
-		return nil, err
+	if al.cheapCount() {
+		return streamOuter(ctx, al, s, r, true,
+			fmt.Sprintf("%s_router_%s", r.Name, s.Name), joinAttrs(r, s), tp.MergeProbs(r, s), stats)
 	}
-	rows, err := outerRowsStream(ctx, al, s, r, cfg, true, stats, buf)
+	rows, err := outerRowsStream(ctx, al, s, r, cfg, true, stats, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -768,11 +740,12 @@ func FullOuterJoin(r, s *tp.Relation, theta tp.Theta, cfg Config) *tp.Relation {
 func fullOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cfg Config, stats *Stats) (*tp.Relation, error) {
 	fwd := newAligner(s, theta, cfg)
 	defer fwd.release()
-	buf, err := presizeRows(ctx, fwd, r)
-	if err != nil {
-		return nil, err
+	mir := newAligner(r, tp.Swap(theta), cfg)
+	defer mir.release()
+	if fwd.cheapCount() && mir.cheapCount() {
+		return streamFull(ctx, fwd, mir, r, s, stats)
 	}
-	rows, err := outerRowsStream(ctx, fwd, r, s, cfg, false, stats, buf)
+	rows, err := outerRowsStream(ctx, fwd, r, s, cfg, false, stats, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -780,8 +753,6 @@ func fullOuterJoinCtx(ctx context.Context, r, s *tp.Relation, theta tp.Theta, cf
 	if err != nil {
 		return nil, err
 	}
-	mir := newAligner(r, tp.Swap(theta), cfg)
-	defer mir.release()
 	rows, err = negRowsStream(ctx, mir, s, r, cfg, true, false, stats, rows)
 	if err != nil {
 		return nil, err

@@ -93,6 +93,9 @@ func ParallelJoinContext(ctx context.Context, op tp.Op, r, s *tp.Relation, eq tp
 			st.AlignPasses += partStats[p].AlignPasses
 			st.Fragments += partStats[p].Fragments
 			st.Rows += partStats[p].Rows
+			st.DupAvoided += partStats[p].DupAvoided
+			st.ProbBatches += partStats[p].ProbBatches
+			st.MemoHits += partStats[p].MemoHits
 		}
 	}
 	return out, nil

@@ -18,6 +18,8 @@ import (
 	"tpjoin/internal/align"
 	"tpjoin/internal/core"
 	"tpjoin/internal/dataset"
+	"tpjoin/internal/lineage"
+	"tpjoin/internal/prob"
 	"tpjoin/internal/tp"
 )
 
@@ -237,6 +239,73 @@ func ExtraFullOuter(ds string, opt Options) Figure {
 		})})
 	}
 	fig.Series = []Series{nj, ta}
+	return fig
+}
+
+// probAggWorkload builds the probabilistic-aggregation workload: the
+// lineages of the TP left outer join's output — the conjunction,
+// negation and disjunction formulas whose per-tuple marginal
+// probabilities (the aggregation over possible worlds) the join tail
+// computes. This is exactly the stream the batched evaluator serves in
+// production, so the panel measures the shipped tail, not a synthetic
+// formula mix.
+func probAggWorkload(ds string, n int, seed int64) ([]*lineage.Expr, prob.Probs) {
+	r, s, theta := generate(ds, n, seed)
+	out := core.LeftOuterJoin(r, s, theta)
+	lams := make([]*lineage.Expr, out.Len())
+	for i := range out.Tuples {
+		lams[i] = out.Tuples[i].Lineage
+	}
+	return lams, out.Probs
+}
+
+// probSink keeps the evaluation loops below observable.
+var probSink float64
+
+// probAggScalar evaluates every lineage through the scalar reference
+// evaluator (one memoized recursive evaluation per formula).
+func probAggScalar(lams []*lineage.Expr, probs prob.Probs) {
+	ev := prob.NewEvaluator(probs)
+	for _, lam := range lams {
+		probSink = ev.Prob(lam)
+	}
+}
+
+// probAggBatch evaluates the same lineages through the batched evaluator
+// in core.BatchSize chunks — the path the join and projection tails run.
+func probAggBatch(lams []*lineage.Expr, probs prob.Probs) {
+	bev := prob.NewBatchEvaluator(probs)
+	ps := make([]float64, core.BatchSize)
+	for lo := 0; lo < len(lams); lo += core.BatchSize {
+		hi := min(lo+core.BatchSize, len(lams))
+		bev.EvalBatch(lams[lo:hi], ps)
+		probSink = ps[0]
+	}
+}
+
+// ProbAgg is the probabilistic-aggregation panel (extension beyond the
+// paper's figures): the probability-evaluation tail of a lineage
+// projection, measured once through the scalar reference evaluator and
+// once through the batched evaluator. Workload construction (join +
+// projection) happens outside the timer — the series isolate evaluation.
+func ProbAgg(ds string, opt Options) Figure {
+	def := defaultWebkit
+	if ds == "meteo" {
+		def = defaultMeteo
+	}
+	fig := Figure{ID: figID("8", ds), Title: "Probabilistic aggregation: scalar vs batched evaluation (extension)", Dataset: ds}
+	sc := Series{Name: "SCALAR"}
+	ba := Series{Name: "BATCH"}
+	for _, n := range opt.sizes(def) {
+		lams, probs := probAggWorkload(ds, n, opt.seed())
+		sc.Points = append(sc.Points, Point{N: n, Millis: timeIt(opt.repeats(), func() {
+			probAggScalar(lams, probs)
+		})})
+		ba.Points = append(ba.Points, Point{N: n, Millis: timeIt(opt.repeats(), func() {
+			probAggBatch(lams, probs)
+		})})
+	}
+	fig.Series = []Series{sc, ba}
 	return fig
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"tpjoin/internal/align"
 	"tpjoin/internal/core"
@@ -61,14 +62,34 @@ type File struct {
 	Notes  string `json:"notes,omitempty"`
 }
 
-// measure runs f under testing.Benchmark with allocation reporting.
-func measure(f func()) testing.BenchmarkResult {
-	return testing.Benchmark(func(b *testing.B) {
+// measure times f with the min-of-N methodology the text harness
+// documents on Options.Repeats: one testing.Benchmark run supplies the
+// allocation profile (allocs/op is deterministic) and the first timing,
+// then repeats-1 directly-timed executions refine the minimum. At the
+// panels' larger sizes testing.Benchmark fits one or two iterations in
+// its time budget, so without the extra repetitions one GC-unlucky
+// iteration would be the recorded number.
+func measure(repeats int, f func()) testing.BenchmarkResult {
+	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			f()
 		}
 	})
+	ns := res.NsPerOp()
+	for i := 1; i < repeats; i++ {
+		runtime.GC()
+		start := time.Now()
+		f()
+		if d := time.Since(start).Nanoseconds(); d < ns {
+			ns = d
+		}
+	}
+	return testing.BenchmarkResult{
+		N: 1, T: time.Duration(ns),
+		MemAllocs: uint64(res.AllocsPerOp()),
+		MemBytes:  uint64(res.AllocedBytesPerOp()),
+	}
 }
 
 func record(figure, ds, series string, n int, res testing.BenchmarkResult) Record {
@@ -93,8 +114,10 @@ func autoStrategy(r, s *tp.Relation, theta tp.EquiTheta, taNestedLoop bool) engi
 }
 
 // CollectJSON measures the requested figure panels (figs ⊆ {"5","6","7",
-// "prepared"}, datasets ⊆ {"webkit","meteo"}) and returns them as a
-// labelled run.
+// "prepared","probagg"}, datasets ⊆ {"webkit","meteo"}) and returns them
+// as a labelled run. Options.Repeats is honored the same way the text
+// harness honors it: each point is measured Repeats times and the
+// fastest run is recorded.
 // Fig. 7 additionally measures the PNJ series (the engine-wired
 // partitioned-parallel NJ executor), which the text harness does not plot
 // because the paper has no parallel baseline. Figs. 5 and 7 also measure
@@ -125,7 +148,26 @@ func collectPanel(fig, ds string, opt Options) []Record {
 	}
 	var out []Record
 	id := figID(fig, ds)
+	rep := opt.repeats()
 	switch fig {
+	case "probagg":
+		// "8": the extension panel after the paper's Fig. 7 ("P" is the
+		// prepared-statement panel).
+		id = figID("8", ds)
+		def := defaultWebkit
+		if ds == "meteo" {
+			def = defaultMeteo
+		}
+		for _, n := range opt.sizes(def) {
+			lams, probs := probAggWorkload(ds, n, opt.seed())
+			out = append(out,
+				record(id, ds, "SCALAR", n, measure(rep, func() {
+					probAggScalar(lams, probs)
+				})),
+				record(id, ds, "BATCH", n, measure(rep, func() {
+					probAggBatch(lams, probs)
+				})))
+		}
 	case "5":
 		def := defaultWebkit
 		if ds == "meteo" {
@@ -134,10 +176,10 @@ func collectPanel(fig, ds string, opt Options) []Record {
 		for _, n := range opt.sizes(def) {
 			r, s, theta := generate(ds, n, opt.seed())
 			out = append(out,
-				record(id, ds, "NJ", n, measure(func() {
+				record(id, ds, "NJ", n, measure(rep, func() {
 					core.Count(core.LAWAU(core.OverlapJoin(r, s, theta)))
 				})),
-				record(id, ds, "TA", n, measure(func() {
+				record(id, ds, "TA", n, measure(rep, func() {
 					align.CountWUO(r, s, theta, align.Config{})
 				})))
 			// AUTO: run the picker's choice. The WUO microbenchmark has
@@ -153,7 +195,7 @@ func collectPanel(fig, ds string, opt Options) []Record {
 				// StrategyNJ, StrategyPNJ and any future strategy measure
 				// the sequential NJ pipeline initialized above.
 			}
-			auto := record(id, ds, "AUTO", n, measure(func() {
+			auto := record(id, ds, "AUTO", n, measure(rep, func() {
 				if executed == engine.StrategyTA {
 					align.CountWUO(r, s, theta, align.Config{})
 				} else {
@@ -172,13 +214,13 @@ func collectPanel(fig, ds string, opt Options) []Record {
 			r, s, theta := generate(ds, n, opt.seed())
 			wuo := core.Drain(core.LAWAU(core.OverlapJoin(r, s, theta)))
 			out = append(out,
-				record(id, ds, "NJ-WN", n, measure(func() {
+				record(id, ds, "NJ-WN", n, measure(rep, func() {
 					core.Count(core.LAWAN(core.NewSliceIterator(wuo)))
 				})),
-				record(id, ds, "NJ-WUON", n, measure(func() {
+				record(id, ds, "NJ-WUON", n, measure(rep, func() {
 					core.Count(core.LAWAN(core.LAWAU(core.OverlapJoin(r, s, theta))))
 				})),
-				record(id, ds, "TA", n, measure(func() {
+				record(id, ds, "TA", n, measure(rep, func() {
 					align.CountNegating(r, s, theta, align.Config{})
 				})))
 		}
@@ -192,20 +234,20 @@ func collectPanel(fig, ds string, opt Options) []Record {
 		for _, n := range opt.sizes(def) {
 			r, s, theta := generate(ds, n, opt.seed())
 			out = append(out,
-				record(id, ds, "NJ", n, measure(func() {
+				record(id, ds, "NJ", n, measure(rep, func() {
 					core.LeftOuterJoin(r, s, theta)
 				})),
-				record(id, ds, "PNJ", n, measure(func() {
+				record(id, ds, "PNJ", n, measure(rep, func() {
 					core.ParallelJoin(tp.OpLeft, r, s, theta, 0)
 				})),
-				record(id, ds, "TA", n, measure(func() {
+				record(id, ds, "TA", n, measure(rep, func() {
 					align.LeftOuterJoin(r, s, theta, cfg)
 				})),
-				record(id, ds, "PTA", n, measure(func() {
+				record(id, ds, "PTA", n, measure(rep, func() {
 					align.ParallelJoin(tp.OpLeft, r, s, theta, cfg, 0)
 				})))
 			pick := autoStrategy(r, s, theta, cfg.NestedLoop)
-			auto := record(id, ds, "AUTO", n, measure(func() {
+			auto := record(id, ds, "AUTO", n, measure(rep, func() {
 				switch pick {
 				case engine.StrategyTA:
 					align.LeftOuterJoin(r, s, theta, cfg)

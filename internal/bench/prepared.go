@@ -36,6 +36,7 @@ var defaultPrepared = []int{10000, 20000, 40000}
 func collectPreparedPanel(ds string, opt Options) []Record {
 	var out []Record
 	id := figID("P", ds)
+	rep := opt.repeats()
 	for _, n := range opt.sizes(defaultPrepared) {
 		r, s, _ := generate(ds, n, opt.seed())
 		r.Name, s.Name = "r", "s"
@@ -59,13 +60,13 @@ func collectPreparedPanel(ds string, opt Options) []Record {
 		}
 
 		out = append(out,
-			record(id, ds, "SELECT", n, measure(func() {
+			record(id, ds, "SELECT", n, measure(rep, func() {
 				op := mustBuild(cat, sess, preparedSelect)
 				if _, err := engine.RunContext(context.Background(), op, "result"); err != nil {
 					panic(err)
 				}
 			})),
-			record(id, ds, "EXECUTE", n, measure(func() {
+			record(id, ds, "EXECUTE", n, measure(rep, func() {
 				op, _, err := plan.PlanPrepared(cache, cat, sess, prep, param)
 				if err != nil {
 					panic(err)
@@ -74,10 +75,10 @@ func collectPreparedPanel(ds string, opt Options) []Record {
 					panic(err)
 				}
 			})),
-			record(id, ds, "PLAN-COLD", n, measure(func() {
+			record(id, ds, "PLAN-COLD", n, measure(rep, func() {
 				mustBuild(cat, sess, preparedSelect)
 			})),
-			record(id, ds, "PLAN-CACHED", n, measure(func() {
+			record(id, ds, "PLAN-CACHED", n, measure(rep, func() {
 				if _, _, err := plan.PlanPrepared(cache, cat, sess, prep, param); err != nil {
 					panic(err)
 				}

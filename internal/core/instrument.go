@@ -33,6 +33,12 @@ type StageStats struct {
 // forward phase's.
 type JoinInstr struct {
 	Stages []*StageStats
+	// ProbBatches is how many probability batches the batched tail
+	// evaluated, and MemoHits how many sub-lineages it answered from the
+	// shared memo instead of re-evaluating. Both stay zero on the scalar
+	// reference path, which evaluates per tuple.
+	ProbBatches int64
+	MemoHits    int64
 }
 
 // stage wraps it with a counting iterator feeding a new named StageStats.

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"unsafe"
 
+	"tpjoin/internal/lineage"
 	"tpjoin/internal/tp"
 	"tpjoin/internal/window"
 )
@@ -63,13 +64,14 @@ var batchPool = sync.Pool{
 	},
 }
 
-// PipelineBytes reports the pooled window-buffer bytes a join stream over
-// op checks out of the batch pool: one BatchSize transfer buffer for the
-// stream itself plus, on the negating operators, one input buffer each
-// for LAWAU and LAWAN (two pipelines for FULL, which runs a mirror
-// phase). The buffers are checked out lazily and returned to the pool on
-// exhaustion, but budget-wise the query owns them for its lifetime, so a
-// per-query memory gauge charges this amount at stream construction.
+// PipelineBytes reports the fixed per-stream buffer bytes a join stream
+// over op owns: one BatchSize window transfer buffer from the batch pool
+// plus, on the negating operators, one input buffer each for LAWAU and
+// LAWAN (two pipelines for FULL, which runs a mirror phase), plus the
+// batched probability tail's tuple/lineage/probability arenas. The
+// buffers are checked out or allocated lazily, but budget-wise the query
+// owns them for its lifetime, so a per-query memory gauge charges this
+// amount at stream construction.
 func PipelineBytes(op tp.Op) int64 {
 	stages := 1
 	switch op {
@@ -78,7 +80,10 @@ func PipelineBytes(op tp.Op) int64 {
 	case tp.OpFull:
 		stages = 5
 	}
-	return int64(stages) * BatchSize * int64(unsafe.Sizeof(window.Window{}))
+	windows := int64(stages) * BatchSize * int64(unsafe.Sizeof(window.Window{}))
+	probTail := int64(BatchSize) * int64(unsafe.Sizeof(tp.Tuple{})+
+		unsafe.Sizeof((*lineage.Expr)(nil))+unsafe.Sizeof(float64(0)))
+	return windows + probTail
 }
 
 func getBatchBuf() *[]window.Window { return batchPool.Get().(*[]window.Window) }

@@ -121,7 +121,13 @@ func joinStreamWithProbs(op tp.Op, r, s *tp.Relation, theta tp.Theta, probs prob
 	default:
 		panic(fmt.Sprintf("core: unknown operator %v", op))
 	}
-	return &joinStream{phases: phases, ev: prob.NewEvaluator(probs), batch: batch}, attrs
+	js := &joinStream{phases: phases, batch: batch, instr: instr}
+	if batch {
+		js.bev = prob.NewBatchEvaluator(probs)
+	} else {
+		js.ev = prob.NewEvaluator(probs)
+	}
+	return js, attrs
 }
 
 // Join computes the TP join of the given operator, materializing the
@@ -231,16 +237,27 @@ type phase struct {
 
 // joinStream converts window streams into output tuples lazily. With
 // batch set, windows are pulled from each phase through the pooled batched
-// transport; the scalar path pulls one window per Next call and is the
-// reference implementation.
+// transport and probabilities are evaluated in BatchSize batches through
+// prob.BatchEvaluator (one memo across the join); the scalar path pulls
+// one window per Next call, evaluates per tuple, and is the reference
+// implementation.
 type joinStream struct {
 	phases []phase
 	cur    int
-	ev     *prob.Evaluator
+	ev     *prob.Evaluator // scalar reference path
+	instr  *JoinInstr      // nil unless EXPLAIN ANALYZE instrumented
 
 	batch        bool
+	bev          *prob.BatchEvaluator
 	buf          *[]window.Window
 	bufPos, bufN int
+	// The batched probability tail: tuples of the current batch with
+	// their lineages collected, awaiting one EvalBatch call. Allocated on
+	// the first batch (PipelineBytes charges them up front).
+	tbuf     []tp.Tuple
+	lams     []*lineage.Expr
+	ps       []float64
+	tpos, tn int
 }
 
 func (j *joinStream) Next() (tp.Tuple, bool) {
@@ -262,7 +279,30 @@ func (j *joinStream) Next() (tp.Tuple, bool) {
 }
 
 func (j *joinStream) nextBatched() (tp.Tuple, bool) {
-	for j.cur < len(j.phases) {
+	for {
+		if j.tpos < j.tn {
+			t := j.tbuf[j.tpos]
+			j.tpos++
+			return t, true
+		}
+		if !j.fillBatch() {
+			return tp.Tuple{}, false
+		}
+	}
+}
+
+// fillBatch forms up to BatchSize output tuples from the window stream —
+// fact and lineage only — then evaluates all their probabilities in one
+// EvalBatch call. Deferring the probability to the batch boundary is what
+// turns the per-tuple scalar tail into batched work over the shared memo.
+func (j *joinStream) fillBatch() bool {
+	if j.tbuf == nil {
+		j.tbuf = make([]tp.Tuple, BatchSize)
+		j.lams = make([]*lineage.Expr, BatchSize)
+		j.ps = make([]float64, BatchSize)
+	}
+	j.tpos, j.tn = 0, 0
+	for j.cur < len(j.phases) && j.tn < BatchSize {
 		if j.bufPos == j.bufN {
 			if j.buf == nil {
 				j.buf = getBatchBuf()
@@ -275,19 +315,34 @@ func (j *joinStream) nextBatched() (tp.Tuple, bool) {
 			}
 		}
 		ph := &j.phases[j.cur]
-		for j.bufPos < j.bufN {
+		for j.bufPos < j.bufN && j.tn < BatchSize {
 			w := (*j.buf)[j.bufPos]
 			j.bufPos++
-			if t, ok := ph.opts.tuple(w, j.ev); ok {
-				return t, true
+			if t, ok := ph.opts.tupleLam(w); ok {
+				j.tbuf[j.tn] = t
+				j.lams[j.tn] = t.Lineage
+				j.tn++
 			}
 		}
 	}
-	if j.buf != nil {
-		putBatchBuf(j.buf)
-		j.buf = nil
+	if j.tn == 0 {
+		if j.buf != nil {
+			putBatchBuf(j.buf)
+			j.buf = nil
+		}
+		clear(j.tbuf) // drop fact/lineage references past end of stream
+		clear(j.lams)
+		return false
 	}
-	return tp.Tuple{}, false
+	j.bev.EvalBatch(j.lams[:j.tn], j.ps)
+	for i := 0; i < j.tn; i++ {
+		j.tbuf[i].Prob = j.ps[i]
+	}
+	if j.instr != nil {
+		j.instr.ProbBatches = j.bev.Batches()
+		j.instr.MemoHits = j.bev.MemoHits()
+	}
+	return true
 }
 
 // emitOpts selects which window classes contribute output tuples and how
@@ -307,9 +362,23 @@ type emitOpts struct {
 	antiSchema bool
 }
 
-// tuple forms the output tuple of window w, or reports false when w's
-// class is not part of the operator.
+// tuple forms the output tuple of window w with its exact probability, or
+// reports false when w's class is not part of the operator. This is the
+// scalar reference path; the batched path forms tuples via tupleLam and
+// fills probabilities per batch.
 func (o emitOpts) tuple(w window.Window, ev *prob.Evaluator) (tp.Tuple, bool) {
+	t, ok := o.tupleLam(w)
+	if !ok {
+		return tp.Tuple{}, false
+	}
+	t.Prob = ev.Prob(t.Lineage)
+	return t, true
+}
+
+// tupleLam forms the output tuple of window w — fact, lineage and
+// interval, probability left unset — or reports false when w's class is
+// not part of the operator.
+func (o emitOpts) tupleLam(w window.Window) (tp.Tuple, bool) {
 	var f tp.Fact
 	var lam *lineage.Expr
 	switch w.Class() {
@@ -336,7 +405,7 @@ func (o emitOpts) tuple(w window.Window, ev *prob.Evaluator) (tp.Tuple, bool) {
 		f = o.negFact(w)
 		lam = lineage.AndNot(w.Lr, w.Ls)
 	}
-	return tp.Tuple{Fact: f, Lineage: lam, T: w.T, Prob: ev.Prob(lam)}, true
+	return tp.Tuple{Fact: f, Lineage: lam, T: w.T}, true
 }
 
 func (o emitOpts) negFact(w window.Window) tp.Fact {

@@ -49,7 +49,28 @@ func ProjectLineage(rel *tp.Relation, cols []int, names []string) *tp.Relation {
 		g.Vals = append(g.Vals, entry{t: tu.T, lam: tu.Lineage})
 	}
 
-	ev := prob.NewEvaluator(rel.Probs)
+	// Output probabilities are evaluated in BatchSize batches over one
+	// shared memo: projection groups repeat the same disjunction shapes,
+	// so distinct sub-lineages are evaluated once, not once per chunk.
+	bev := prob.NewBatchEvaluator(rel.Probs)
+	type outRow struct {
+		fact tp.Fact
+		lam  *lineage.Expr
+		t    interval.Interval
+	}
+	pend := make([]outRow, 0, BatchSize)
+	lams := make([]*lineage.Expr, BatchSize)
+	ps := make([]float64, BatchSize)
+	flush := func() {
+		for i := range pend {
+			lams[i] = pend[i].lam
+		}
+		bev.EvalBatch(lams[:len(pend)], ps)
+		for i := range pend {
+			out.AppendDerived(pend[i].fact, pend[i].lam, pend[i].t, ps[i])
+		}
+		pend = pend[:0]
+	}
 	list := byFact.Groups()
 	for gi := range list {
 		es := list[gi].Vals
@@ -83,9 +104,13 @@ func ProjectLineage(rel *tp.Relation, cols []int, names []string) *tp.Relation {
 				cur.t.End = chunks[j].t.End
 				j++
 			}
-			out.AppendDerived(list[gi].Fact, cur.lam, cur.t, ev.Prob(cur.lam))
+			pend = append(pend, outRow{fact: list[gi].Fact, lam: cur.lam, t: cur.t})
+			if len(pend) == BatchSize {
+				flush()
+			}
 			i = j
 		}
 	}
+	flush()
 	return out
 }

@@ -57,8 +57,12 @@ var differentialOps = []tp.Op{tp.OpInner, tp.OpLeft, tp.OpFull, tp.OpAnti}
 // runStrategy executes one TP join through the executor under the given
 // strategy and returns the result relation.
 func runStrategy(t *testing.T, strat Strategy, op tp.Op, r, s *tp.Relation, theta tp.Theta) *tp.Relation {
+	return runStrategyCfg(t, strat, op, r, s, theta, align.Config{})
+}
+
+func runStrategyCfg(t *testing.T, strat Strategy, op tp.Op, r, s *tp.Relation, theta tp.Theta, cfg align.Config) *tp.Relation {
 	t.Helper()
-	j := NewTPJoin(op, NewScan(r), NewScan(s), theta, strat, align.Config{})
+	j := NewTPJoin(op, NewScan(r), NewScan(s), theta, strat, cfg)
 	if strat == StrategyPNJ || strat == StrategyPTA {
 		j.SetWorkers(3)
 	}
@@ -118,6 +122,13 @@ func TestDifferentialStrategies(t *testing.T) {
 				got := canonicalize(runStrategy(t, strat, op, in.r, in.s, in.theta))
 				diffLines(t, fmt.Sprintf("%s %v %v-vs-NJ", in.name, op, strat), ref, got)
 			}
+			// TA under the nested-loop plan takes the pre-streaming path
+			// (materialize both sub-queries, then unionDistinct), pinning
+			// the streamed union against the reference implementation at
+			// the executor level too.
+			nl := canonicalize(runStrategyCfg(t, StrategyTA, op, in.r, in.s, in.theta,
+				align.Config{NestedLoop: true}))
+			diffLines(t, fmt.Sprintf("%s %v TA/nl-vs-NJ", in.name, op), ref, nl)
 		}
 	}
 }

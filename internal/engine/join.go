@@ -233,20 +233,24 @@ func (j *TPJoin) Open() error {
 }
 
 // Stages returns the strategy-level ANALYZE detail counters of the last
-// run: window-pipeline stages (windows/batches) under NJ, alignment
-// passes/fragments/pre-union rows under TA (prefixed by
-// workers/partitions under PTA), workers/partitions/tuples under PNJ. It
-// returns nil when the join was not instrumented.
+// run: window-pipeline stages (windows/batches) plus probability batching
+// (prob-batches/memo-hits) under NJ, alignment passes/fragments/pre-union
+// rows plus the streaming union's dup-avoided and probability batching
+// under TA (prefixed by workers/partitions under PTA),
+// workers/partitions/tuples under PNJ. It returns nil when the join was
+// not instrumented.
 func (j *TPJoin) Stages() []StageStat {
 	switch {
 	case j.njInstr != nil:
-		out := make([]StageStat, 0, len(j.njInstr.Stages))
+		out := make([]StageStat, 0, len(j.njInstr.Stages)+2)
 		for _, st := range j.njInstr.Stages {
 			out = append(out, StageStat{Name: st.Name, Count: st.Windows, Batches: st.Batches})
 		}
-		return out
+		return append(out,
+			StageStat{Name: "prob-batches", Count: j.njInstr.ProbBatches},
+			StageStat{Name: "memo-hits", Count: j.njInstr.MemoHits})
 	case j.taStats != nil:
-		out := make([]StageStat, 0, 5)
+		out := make([]StageStat, 0, 8)
 		if j.taStats.Workers > 0 {
 			// The parallel executor (PTA) additionally reports its
 			// partitioning; the alignment counters below then aggregate
@@ -258,7 +262,10 @@ func (j *TPJoin) Stages() []StageStat {
 		return append(out,
 			StageStat{Name: "align-passes", Count: j.taStats.AlignPasses},
 			StageStat{Name: "fragments", Count: j.taStats.Fragments},
-			StageStat{Name: "pre-union rows", Count: j.taStats.Rows})
+			StageStat{Name: "pre-union rows", Count: j.taStats.Rows},
+			StageStat{Name: "dup-avoided", Count: j.taStats.DupAvoided},
+			StageStat{Name: "prob-batches", Count: j.taStats.ProbBatches},
+			StageStat{Name: "memo-hits", Count: j.taStats.MemoHits})
 	case j.pnjStats != nil:
 		return []StageStat{
 			{Name: "workers", Count: j.pnjStats.Workers},

@@ -105,6 +105,43 @@ func drainNoCtxInScope(op Operator) (n int) {
 	}
 }
 
+// BatchSource mirrors core.BatchIterator: one NextBatch call moves a
+// whole batch between stages.
+type BatchSource interface {
+	NextBatch(buf []Tuple) int
+}
+
+// batchTailNoCheckpoint is the batched probability tail's shape minus
+// its checkpoint: batches are pulled and processed in a loop that never
+// observes the context — one giant tail runs to completion under a
+// cancelled query.
+func batchTailNoCheckpoint(ctx context.Context, src BatchSource, buf []Tuple) (n int) {
+	_ = ctx
+	for { // want "ctxcheck: drain loop has no cancellation checkpoint"
+		k := src.NextBatch(buf)
+		if k == 0 {
+			return n
+		}
+		n += k
+	}
+}
+
+// batchTailPerBatchErr checkpoints once per batch, not per tuple — the
+// conforming batched-tail idiom (the checkpoint cost amortizes over the
+// whole batch).
+func batchTailPerBatchErr(ctx context.Context, src BatchSource, buf []Tuple) (n int, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		k := src.NextBatch(buf)
+		if k == 0 {
+			return n, nil
+		}
+		n += k
+	}
+}
+
 // nonDrainLoop has a context in scope but pulls nothing: not a drain.
 func nonDrainLoop(ctx context.Context, xs []int) int {
 	_ = ctx

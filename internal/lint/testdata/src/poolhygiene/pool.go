@@ -105,3 +105,41 @@ func escapeChan(ch chan *buffer) {
 	b := getBuf() // want "poolhygiene: value checked out of bufPool is never released"
 	ch <- b       // want "poolhygiene: pooled value from bufPool escapes over a channel"
 }
+
+// scratch is a sample arena in the Monte Carlo idiom: the release path
+// is a method on the pooled type itself, and the getter resizes the
+// arena before handing it out.
+type scratch struct{ samples []float64 }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch(n int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if cap(sc.samples) < n {
+		sc.samples = make([]float64, n)
+	}
+	sc.samples = sc.samples[:n]
+	return sc
+}
+
+func (sc *scratch) release() { scratchPool.Put(sc) }
+
+// okArenaDefer checks a sample arena out and releases it through the
+// deferred method.
+func okArenaDefer(n int) float64 {
+	sc := getScratch(n)
+	defer sc.release()
+	return sc.samples[0]
+}
+
+// leakArenaOnError releases on the happy path but loses the arena on
+// the error return.
+func leakArenaOnError(n int, fail bool) (float64, error) {
+	sc := getScratch(n)
+	if fail {
+		return 0, errors.New("boom") // want "poolhygiene: return without releasing the value checked out of scratchPool"
+	}
+	v := sc.samples[0]
+	sc.release()
+	return v, nil
+}

@@ -531,8 +531,17 @@ func TestExplainAnalyzeStructured(t *testing.T) {
 	if tree.Root.Rows != 7 {
 		t.Errorf("root rows = %d, want 7 (Fig. 1b left outer join)", tree.Root.Rows)
 	}
-	if len(tree.Root.Stages) != 3 {
-		t.Errorf("NJ join stages = %v, want overlap/lawau/lawan", tree.Root.Stages)
+	if len(tree.Root.Stages) != 5 {
+		t.Errorf("NJ join stages = %v, want overlap/lawau/lawan + prob-batches/memo-hits", tree.Root.Stages)
+	}
+	if n := len(tree.Root.Stages); n >= 2 {
+		if got := tree.Root.Stages[n-2].Name; got != "prob-batches" {
+			t.Errorf("stage[%d] = %q, want prob-batches", n-2, got)
+		}
+		// 7 output rows fit in one probability batch.
+		if got := tree.Root.Stages[n-2].Count; got != 1 {
+			t.Errorf("prob-batches = %d, want 1", got)
+		}
 	}
 	if len(tree.Root.Children) != 2 {
 		t.Fatalf("join children = %d, want 2 scans", len(tree.Root.Children))

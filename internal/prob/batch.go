@@ -1,0 +1,281 @@
+package prob
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"strings"
+	"sync"
+
+	"tpjoin/internal/lineage"
+)
+
+// This file is the batched side of the probability layer: the pipeline
+// operators form 256-row batches everywhere else, and the probability
+// evaluation used to be their last per-tuple scalar stage. Two batch
+// entry points fix that:
+//
+//   - BatchEvaluator.EvalBatch evaluates a batch of lineages exactly,
+//     sharing one memo (hash-consed sub-lineage → probability) across
+//     the whole join so the chain-shaped lineages TP joins produce are
+//     evaluated once per distinct sub-expression, not once per row. Its
+//     fast path replaces the scalar evaluator's allocating
+//     independence-partition (union-find + per-operand Vars sets) with
+//     a generation-stamped ownership map reused across rows.
+//   - MonteCarloBatch draws one PCG stream family per batch (stream i
+//     is seed+i), reusing one pooled sample scratch for every row.
+//
+// Both are drop-in value-identical to their scalar counterparts: the
+// exact path computes bit-identical float64s (same multiplication
+// order, same memo values), and MonteCarloBatch's out[i] equals
+// MonteCarlo(es[i], probs, n, seed+int64(i)) exactly.
+
+// BatchEvaluator evaluates lineage probabilities in batches on top of an
+// exact Evaluator, sharing its memo. It is not safe for concurrent use.
+type BatchEvaluator struct {
+	ev *Evaluator
+
+	// owners is the reusable independence scratch: one map lives for the
+	// evaluator's lifetime, and each disjointness check stamps entries
+	// with a fresh generation instead of clearing. This is what replaces
+	// the scalar path's per-node union-find + per-operand Vars() sets.
+	owners map[lineage.Var]ownerMark
+	gen    uint64
+
+	batches  int64
+	memoHits int64
+}
+
+type ownerMark struct {
+	gen uint64
+	kid int32
+}
+
+// NewBatchEvaluator returns a batch evaluator over the given base-event
+// probabilities.
+func NewBatchEvaluator(probs Probs) *BatchEvaluator {
+	return &BatchEvaluator{
+		ev:     NewEvaluator(probs),
+		owners: make(map[lineage.Var]ownerMark),
+	}
+}
+
+// Batches reports how many EvalBatch calls the evaluator has served.
+func (b *BatchEvaluator) Batches() int64 { return b.batches }
+
+// MemoHits reports how many n-ary sub-lineages were answered from the
+// shared memo instead of being re-evaluated.
+func (b *BatchEvaluator) MemoHits() int64 { return b.memoHits }
+
+// ShannonSteps reports the underlying evaluator's Shannon expansions.
+func (b *BatchEvaluator) ShannonSteps() int { return b.ev.shannonSteps }
+
+// EvalBatch computes out[i] = Pr(es[i]) for every expression of the
+// batch. out must have at least len(es) entries; a nil expression (the
+// "null" lineage of unmatched windows) panics, matching Evaluator.Prob.
+func (b *BatchEvaluator) EvalBatch(es []*lineage.Expr, out []float64) {
+	if len(out) < len(es) {
+		panic(fmt.Sprintf("prob: EvalBatch output has %d slots for %d expressions", len(out), len(es)))
+	}
+	b.batches++
+	for i, e := range es {
+		if e == nil {
+			panic("prob: EvalBatch(nil lineage)")
+		}
+		out[i] = b.eval(e)
+	}
+}
+
+// Prob returns the exact probability of e through the same memo and fast
+// path as EvalBatch — the scalar entry point for stragglers (partial
+// batches, single-row paths). It panics on nil.
+func (b *BatchEvaluator) Prob(e *lineage.Expr) float64 {
+	if e == nil {
+		panic("prob: Prob(nil lineage)")
+	}
+	return b.eval(e)
+}
+
+// eval mirrors Evaluator.eval with one difference: when an n-ary node's
+// operands are pairwise variable-disjoint (the read-once case — every
+// lineage the TP operators build over base relations), it composes the
+// operand probabilities directly in operand order, skipping the
+// allocating independence partition. That is exactly what the scalar
+// path computes for all-singleton groups, so results are bit-identical.
+func (b *BatchEvaluator) eval(e *lineage.Expr) float64 {
+	ev := b.ev
+	switch e.Kind() {
+	case lineage.KindFalse:
+		return 0
+	case lineage.KindTrue:
+		return 1
+	case lineage.KindVar:
+		v := e.Variable()
+		p, ok := ev.probs[v]
+		if !ok {
+			panic(fmt.Sprintf("prob: no probability for base event %v", v))
+		}
+		return p
+	case lineage.KindNot:
+		return 1 - b.eval(e.Operands()[0])
+	}
+
+	if p, ok := ev.lookup(e); ok {
+		b.memoHits++
+		return p
+	}
+	kids := e.Operands()
+	var p float64
+	if b.pairwiseDisjoint(kids) {
+		if e.Kind() == lineage.KindAnd {
+			p = 1.0
+			for _, k := range kids {
+				p *= b.eval(k)
+			}
+		} else {
+			q := 1.0
+			for _, k := range kids {
+				q *= 1 - b.eval(k)
+			}
+			p = 1 - q
+		}
+	} else {
+		// Shared variables: fall back to the scalar evaluator's full
+		// grouping / Shannon machinery (same code, same results).
+		p = ev.evalNary(e)
+	}
+	ev.store(e, p)
+	return p
+}
+
+// pairwiseDisjoint reports whether no variable occurs in two different
+// operands. It completes before any recursive evaluation, so the
+// generation-stamped scratch is never observed mid-recursion.
+func (b *BatchEvaluator) pairwiseDisjoint(kids []*lineage.Expr) bool {
+	b.gen++
+	for i, k := range kids {
+		if !b.markOwned(k, int32(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// markOwned stamps every variable of e as owned by operand kid,
+// reporting false on the first variable already owned by another
+// operand this generation.
+func (b *BatchEvaluator) markOwned(e *lineage.Expr, kid int32) bool {
+	if e.Kind() == lineage.KindVar {
+		v := e.Variable()
+		if m, ok := b.owners[v]; ok && m.gen == b.gen && m.kid != kid {
+			return false
+		}
+		b.owners[v] = ownerMark{gen: b.gen, kid: kid}
+		return true
+	}
+	for _, k := range e.Operands() {
+		if !b.markOwned(k, kid) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Monte Carlo batching ---
+
+// mcScratch is the per-estimate sample state: the sorted variable list
+// driving RNG consumption order and the truth assignment the samples are
+// evaluated under. Pooled so neither is reallocated per tuple.
+type mcScratch struct {
+	vars   []lineage.Var
+	assign map[lineage.Var]bool
+}
+
+var mcScratchPool = sync.Pool{
+	New: func() any {
+		return &mcScratch{assign: make(map[lineage.Var]bool, 16)}
+	},
+}
+
+// release clears the scratch and returns it to the pool.
+func (sc *mcScratch) release() {
+	sc.vars = sc.vars[:0]
+	clear(sc.assign)
+	mcScratchPool.Put(sc)
+}
+
+// reset prepares the scratch to carry e's variables: vars holds e's
+// distinct variables sorted by (Rel, ID) — the same order e.Vars()
+// returns, which fixes the RNG consumption order — and assign doubles as
+// the seen-set during collection before the sampling loop overwrites it.
+func (sc *mcScratch) reset(e *lineage.Expr) {
+	sc.vars = sc.vars[:0]
+	clear(sc.assign)
+	sc.collect(e)
+	slices.SortFunc(sc.vars, func(a, b lineage.Var) int {
+		if c := strings.Compare(a.Rel, b.Rel); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+}
+
+func (sc *mcScratch) collect(e *lineage.Expr) {
+	if e.Kind() == lineage.KindVar {
+		v := e.Variable()
+		if _, seen := sc.assign[v]; !seen {
+			sc.assign[v] = false
+			sc.vars = append(sc.vars, v)
+		}
+		return
+	}
+	for _, k := range e.Operands() {
+		sc.collect(k)
+	}
+}
+
+// mcStreamSelector is the fixed second PCG word: distinct seeds give
+// distinct streams, the same seed replays the same estimate.
+const mcStreamSelector = 0x7079746167726173
+
+// monteCarloInto runs one estimate on a caller-provided scratch.
+func monteCarloInto(e *lineage.Expr, probs Probs, n int, seed int64, sc *mcScratch) float64 {
+	rng := rand.New(rand.NewPCG(uint64(seed), mcStreamSelector))
+	sc.reset(e)
+	hits := 0
+	for i := 0; i < n; i++ {
+		for _, v := range sc.vars {
+			sc.assign[v] = rng.Float64() < probs[v]
+		}
+		if e.Eval(sc.assign) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+// MonteCarloBatch estimates Pr(es[i]) for every expression of a batch,
+// writing the estimates into out (which must have at least len(es)
+// slots). The batch draws one PCG stream family anchored at seed:
+// expression i samples stream seed+i, so
+//
+//	out[i] == MonteCarlo(es[i], probs, n, seed+int64(i))
+//
+// exactly — estimates are independent of how rows were grouped into
+// batches and individually reproducible from their stream seeds. One
+// pooled sample scratch is reused across the whole batch. Panics for
+// n <= 0, matching MonteCarlo.
+func MonteCarloBatch(es []*lineage.Expr, probs Probs, n int, seed int64, out []float64) {
+	if n <= 0 {
+		panic(fmt.Sprintf("prob: MonteCarloBatch needs a positive sample count, got %d", n))
+	}
+	if len(out) < len(es) {
+		panic(fmt.Sprintf("prob: MonteCarloBatch output has %d slots for %d expressions", len(out), len(es)))
+	}
+	sc := mcScratchPool.Get().(*mcScratch)
+	defer sc.release()
+	for i, e := range es {
+		out[i] = monteCarloInto(e, probs, n, seed+int64(i), sc)
+	}
+}

@@ -1,0 +1,255 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tpjoin/internal/lineage"
+)
+
+// TestBatchEvaluatorBitIdenticalToScalar: the batch evaluator's fast
+// path must compute the exact float64 the scalar evaluator computes —
+// same multiplication order, same memo values — across random formulas
+// including shared-variable (Shannon) shapes.
+func TestBatchEvaluatorBitIdenticalToScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 400; trial++ {
+		e := randExpr(rng, 3)
+		probs := make(Probs)
+		for _, vr := range e.Vars() {
+			probs[vr] = rng.Float64()
+		}
+		scalar := NewEvaluator(probs).Prob(e)
+		bev := NewBatchEvaluator(probs)
+		var out [1]float64
+		bev.EvalBatch([]*lineage.Expr{e}, out[:])
+		if out[0] != scalar {
+			t.Fatalf("trial %d: EvalBatch(%v) = %v, scalar = %v", trial, e, out[0], scalar)
+		}
+		if p := bev.Prob(e); p != scalar {
+			t.Fatalf("trial %d: batch Prob(%v) = %v, scalar = %v", trial, e, p, scalar)
+		}
+	}
+}
+
+// TestBatchEvaluatorReadOnceChain exercises the fast path on the
+// chain-shaped read-once lineages TP joins produce and checks the memo
+// counters: re-evaluating the same batch must answer from the memo.
+func TestBatchEvaluatorReadOnceChain(t *testing.T) {
+	probs := make(Probs)
+	var es []*lineage.Expr
+	for i := 0; i < 64; i++ {
+		a := lineage.NewVar("a", i)
+		b1 := lineage.NewVar("b", 2*i)
+		b2 := lineage.NewVar("b", 2*i+1)
+		probs[lineage.Var{Rel: "a", ID: i}] = 0.7
+		probs[lineage.Var{Rel: "b", ID: 2 * i}] = 0.4
+		probs[lineage.Var{Rel: "b", ID: 2*i + 1}] = 0.9
+		es = append(es, lineage.AndNot(a, lineage.Or(b1, b2)))
+	}
+	bev := NewBatchEvaluator(probs)
+	out := make([]float64, len(es))
+	bev.EvalBatch(es, out)
+	want := 0.7 * (1 - (1 - 0.6*0.1)) // a ∧ ¬(b1 ∨ b2)
+	for i, p := range out {
+		if math.Abs(p-want) > 1e-12 {
+			t.Fatalf("row %d: got %v, want %v", i, p, want)
+		}
+	}
+	if bev.Batches() != 1 {
+		t.Errorf("Batches() = %d, want 1", bev.Batches())
+	}
+	if bev.ShannonSteps() != 0 {
+		t.Errorf("read-once batch must not trigger Shannon, got %d steps", bev.ShannonSteps())
+	}
+	hits := bev.MemoHits()
+	bev.EvalBatch(es, out)
+	if bev.MemoHits() <= hits {
+		t.Errorf("re-evaluating the batch must hit the memo (hits %d → %d)", hits, bev.MemoHits())
+	}
+	if bev.Batches() != 2 {
+		t.Errorf("Batches() = %d, want 2", bev.Batches())
+	}
+}
+
+// TestBatchEvaluatorAgainstEnumeration: exactness on dense shared-variable
+// formulas (the fallback path through the scalar grouping machinery).
+func TestBatchEvaluatorAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		e := randExpr(rng, 4)
+		probs := make(Probs)
+		for _, vr := range e.Vars() {
+			probs[vr] = rng.Float64()
+		}
+		bev := NewBatchEvaluator(probs)
+		got := bev.Prob(e)
+		want := Enumerate(e, probs)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Prob(%v) = %g, enumeration = %g", trial, e, got, want)
+		}
+	}
+}
+
+// TestBatchEvaluatorAgainstBDD cross-checks the batch evaluator against
+// the independent BDD engine.
+func TestBatchEvaluatorAgainstBDD(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 100; trial++ {
+		e := randExpr(rng, 3)
+		probs := make(Probs)
+		for _, vr := range e.Vars() {
+			probs[vr] = rng.Float64()
+		}
+		got := NewBatchEvaluator(probs).Prob(e)
+		want := CompileBDD(e).Prob(probs)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: batch %g vs BDD %g for %v", trial, got, want, e)
+		}
+	}
+}
+
+func TestEvalBatchPanicsOnNil(t *testing.T) {
+	bev := NewBatchEvaluator(Probs{})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on nil lineage in a batch")
+		}
+	}()
+	bev.EvalBatch([]*lineage.Expr{nil}, make([]float64, 1))
+}
+
+func TestEvalBatchPanicsOnShortOutput(t *testing.T) {
+	bev := NewBatchEvaluator(Probs{})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on short output slice")
+		}
+	}()
+	bev.EvalBatch([]*lineage.Expr{lineage.True(), lineage.True()}, make([]float64, 1))
+}
+
+// TestMonteCarloBatchMatchesScalar pins the stream-family contract:
+// out[i] must equal MonteCarlo(es[i], probs, n, seed+i) bit for bit, so
+// estimates are independent of batching.
+func TestMonteCarloBatchMatchesScalar(t *testing.T) {
+	e, probs := mcFixture()
+	e2 := lineage.And(v("v", 1), lineage.Not(v("v", 3)))
+	es := []*lineage.Expr{e, e2, e, lineage.Or(v("v", 2), v("v", 3))}
+	out := make([]float64, len(es))
+	const n, seed = 4000, 11
+	MonteCarloBatch(es, probs, n, seed, out)
+	for i, ei := range es {
+		want := MonteCarlo(ei, probs, n, seed+int64(i))
+		if out[i] != want {
+			t.Errorf("batch slot %d: %v, scalar stream seed+%d: %v", i, out[i], i, want)
+		}
+	}
+	// Replay: same batch, same seed, same estimates.
+	out2 := make([]float64, len(es))
+	MonteCarloBatch(es, probs, n, seed, out2)
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Errorf("slot %d not reproducible: %v vs %v", i, out[i], out2[i])
+		}
+	}
+}
+
+func TestMonteCarloBatchRejectsNonPositiveN(t *testing.T) {
+	e, probs := mcFixture()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MonteCarloBatch(n=0) must panic")
+		}
+	}()
+	MonteCarloBatch([]*lineage.Expr{e}, probs, 0, 1, make([]float64, 1))
+}
+
+// TestMonteCarloAllocs is the allocation regression test for the pooled
+// sample scratch: after warm-up the per-call allocations are the private
+// RNG only (rand.New + NewPCG), not the variable list or assignment map.
+func TestMonteCarloAllocs(t *testing.T) {
+	e, probs := mcFixture()
+	MonteCarlo(e, probs, 10, 1) // warm the pool
+	allocs := testing.AllocsPerRun(50, func() {
+		MonteCarlo(e, probs, 100, 7)
+	})
+	if allocs > 3 {
+		t.Errorf("MonteCarlo allocates %.1f objects/op, want <= 3 (pooled scratch regressed)", allocs)
+	}
+}
+
+// TestEvalBatchAllocsSteadyState: once the memo holds a batch's distinct
+// sub-lineages, re-evaluating allocates nothing — the independence check
+// runs on the generation-stamped scratch, not fresh sets.
+func TestEvalBatchAllocsSteadyState(t *testing.T) {
+	probs := make(Probs)
+	var es []*lineage.Expr
+	for i := 0; i < 32; i++ {
+		probs[lineage.Var{Rel: "a", ID: i}] = 0.5
+		probs[lineage.Var{Rel: "b", ID: i}] = 0.25
+		es = append(es, lineage.And(lineage.NewVar("a", i), lineage.NewVar("b", i)))
+	}
+	bev := NewBatchEvaluator(probs)
+	out := make([]float64, len(es))
+	bev.EvalBatch(es, out) // populate the memo
+	allocs := testing.AllocsPerRun(20, func() {
+		bev.EvalBatch(es, out)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state EvalBatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func BenchmarkEvalBatchReadOnce(b *testing.B) {
+	probs := make(Probs)
+	var es []*lineage.Expr
+	for i := 0; i < 256; i++ {
+		probs[lineage.Var{Rel: "a", ID: i}] = 0.7
+		probs[lineage.Var{Rel: "b", ID: i}] = 0.4
+		probs[lineage.Var{Rel: "b", ID: i + 1000}] = 0.9
+		es = append(es, lineage.AndNot(lineage.NewVar("a", i),
+			lineage.Or(lineage.NewVar("b", i), lineage.NewVar("b", i+1000))))
+	}
+	out := make([]float64, len(es))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bev := NewBatchEvaluator(probs)
+		bev.EvalBatch(es, out)
+	}
+}
+
+func BenchmarkScalarEvalReadOnce(b *testing.B) {
+	probs := make(Probs)
+	var es []*lineage.Expr
+	for i := 0; i < 256; i++ {
+		probs[lineage.Var{Rel: "a", ID: i}] = 0.7
+		probs[lineage.Var{Rel: "b", ID: i}] = 0.4
+		probs[lineage.Var{Rel: "b", ID: i + 1000}] = 0.9
+		es = append(es, lineage.AndNot(lineage.NewVar("a", i),
+			lineage.Or(lineage.NewVar("b", i), lineage.NewVar("b", i+1000))))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := NewEvaluator(probs)
+		for _, e := range es {
+			_ = ev.Prob(e)
+		}
+	}
+}
+
+func BenchmarkMonteCarloBatch(b *testing.B) {
+	e, probs := mcFixture()
+	es := make([]*lineage.Expr, 256)
+	for i := range es {
+		es[i] = e
+	}
+	out := make([]float64, len(es))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MonteCarloBatch(es, probs, 100, int64(i), out)
+	}
+}

@@ -22,7 +22,6 @@ package prob
 
 import (
 	"fmt"
-	"math/rand/v2"
 
 	"tpjoin/internal/lineage"
 )
@@ -293,24 +292,15 @@ func Enumerate(e *lineage.Expr, probs Probs) float64 {
 // Each call owns a private PCG stream (math/rand/v2), so concurrent
 // estimators — one per worker in a parallel aggregation — never contend
 // on a shared locked source and stay individually reproducible from
-// their seeds.
+// their seeds. The sample scratch (variable list + truth assignment) is
+// checked out of a sync.Pool rather than allocated per call; see
+// MonteCarloBatch for the batched entry point that amortizes one
+// checkout over a whole row batch.
 func MonteCarlo(e *lineage.Expr, probs Probs, n int, seed int64) float64 {
 	if n <= 0 {
 		panic(fmt.Sprintf("prob: MonteCarlo needs a positive sample count, got %d", n))
 	}
-	// The second PCG word is a fixed stream selector: distinct seeds give
-	// distinct streams, the same seed replays the same estimate.
-	rng := rand.New(rand.NewPCG(uint64(seed), 0x7079746167726173))
-	vars := e.Vars()
-	assign := make(map[lineage.Var]bool, len(vars))
-	hits := 0
-	for i := 0; i < n; i++ {
-		for _, v := range vars {
-			assign[v] = rng.Float64() < probs[v]
-		}
-		if e.Eval(assign) {
-			hits++
-		}
-	}
-	return float64(hits) / float64(n)
+	sc := mcScratchPool.Get().(*mcScratch)
+	defer sc.release()
+	return monteCarloInto(e, probs, n, seed, sc)
 }
